@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark harness."""
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result.
+
+    The benchmarks reproduce tables and figures; the workload is the
+    interesting output, so there is no value in repeating multi-second MILP
+    sweeps for timing statistics.
+    """
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

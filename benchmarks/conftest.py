@@ -1,0 +1,14 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmark directory is kept outside the default ``testpaths`` so that
+``pytest`` runs the unit/integration suite quickly; run the harness with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import sys
+
+# Make `from bench_utils import run_once` work regardless of the rootdir the
+# harness is invoked from.
+sys.path.insert(0, os.path.dirname(__file__))

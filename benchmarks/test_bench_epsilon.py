@@ -1,0 +1,53 @@
+"""Ablation: the epsilon step of the MIN_EFF_CYC loop.
+
+The paper fixes epsilon = 0.01.  A larger step solves fewer MILPs but may skip
+Pareto points; a smaller step is more thorough.  This benchmark sweeps epsilon
+on one mid-size graph and records the number of points found and the best
+effective-cycle-time bound for each setting.
+"""
+
+from repro.core.milp import MilpSettings
+from repro.core.optimizer import min_effective_cycle_time
+from repro.workloads.iscas_like import SPEC_BY_NAME, iscas_like_rrg, scaled_spec
+
+from bench_utils import run_once
+
+SETTINGS = MilpSettings(time_limit=45)
+
+
+def sweep(rrg, epsilons):
+    results = {}
+    for epsilon in epsilons:
+        outcome = min_effective_cycle_time(
+            rrg, k=1, epsilon=epsilon, settings=SETTINGS
+        )
+        results[epsilon] = (
+            len(outcome.points),
+            outcome.best.effective_cycle_time_bound,
+            outcome.iterations,
+        )
+    return results
+
+
+def test_epsilon_granularity_tradeoff(benchmark):
+    rrg = iscas_like_rrg(scaled_spec(SPEC_BY_NAME["s444"], 0.3), seed=7)
+    epsilons = (0.2, 0.1, 0.05)
+    results = run_once(benchmark, sweep, rrg, epsilons)
+
+    # Finer steps can only find at least as many Pareto points...
+    points = [results[e][0] for e in epsilons]
+    assert points[-1] >= points[0]
+    # ...and never a worse best configuration.
+    best = [results[e][1] for e in epsilons]
+    assert best[-1] <= best[0] + 1e-6
+    # Coarser steps solve fewer MILPs.
+    iterations = [results[e][2] for e in epsilons]
+    assert iterations[0] <= iterations[-1]
+
+    for epsilon in epsilons:
+        count, bound, iters = results[epsilon]
+        benchmark.extra_info[f"eps_{epsilon}"] = (
+            f"points={count} best_xi_lp={bound:.2f} milp_pairs={iters}"
+        )
+        print(f"epsilon={epsilon}: {count} points, best xi_lp={bound:.2f}, "
+              f"{iters} MILP pairs")

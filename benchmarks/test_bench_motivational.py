@@ -1,0 +1,56 @@
+"""Figure 1 / Figure 2 reproduction (Section 1.4 of the paper).
+
+Regenerates the motivational-example numbers: the throughput of the
+Figure 1(b) configuration (0.491 at alpha = 0.5, 0.719 at alpha = 0.9), the
+analytical throughput ``1 / (3 - 2 alpha)`` of Figure 2, and the fact that
+MIN_EFF_CYC rediscovers the Figure 2 configuration from Figure 1(a).
+"""
+
+import pytest
+
+from repro.core.optimizer import min_effective_cycle_time
+from repro.experiments.motivational import run_motivational
+from repro.gmg.markov import exact_throughput
+from repro.workloads.examples import figure1a_rrg, figure2_expected_throughput
+
+from bench_utils import run_once
+
+
+def test_figure1_and_figure2_throughputs(benchmark):
+    rows = run_once(benchmark, run_motivational, alphas=(0.5, 0.9), cycles=10000)
+    by_key = {(row.figure, row.alpha): row for row in rows}
+
+    assert by_key[("1b", 0.5)].exact == pytest.approx(0.491, abs=0.002)
+    assert by_key[("1b", 0.9)].exact == pytest.approx(0.719, abs=0.002)
+    for alpha in (0.5, 0.9):
+        assert by_key[("2", alpha)].exact == pytest.approx(
+            figure2_expected_throughput(alpha), abs=1e-4
+        )
+    # Figure 2 beats Figure 1(b) by ~16% at alpha = 0.9 (as quoted).
+    gain = by_key[("2", 0.9)].exact / by_key[("1b", 0.9)].exact - 1.0
+    assert gain == pytest.approx(0.16, abs=0.02)
+
+    benchmark.extra_info["fig1b_alpha05_throughput"] = by_key[("1b", 0.5)].exact
+    benchmark.extra_info["fig1b_alpha09_throughput"] = by_key[("1b", 0.9)].exact
+    benchmark.extra_info["fig2_alpha09_throughput"] = by_key[("2", 0.9)].exact
+    benchmark.extra_info["fig2_gain_over_fig1b_alpha09"] = gain
+    for row in rows:
+        print(
+            f"figure {row.figure} alpha={row.alpha}: tau={row.cycle_time:.1f} "
+            f"Theta={row.exact:.4f} (paper: {row.expected})"
+        )
+
+
+def test_min_eff_cyc_rediscovers_figure2(benchmark):
+    rrg = figure1a_rrg(alpha=0.9)
+    result = run_once(benchmark, min_effective_cycle_time, rrg, k=3, epsilon=0.01)
+    best = result.best
+    exact = exact_throughput(best.configuration).throughput
+    xi = best.cycle_time / exact
+    paper_xi = 1.0 / figure2_expected_throughput(0.9)
+    assert xi == pytest.approx(paper_xi, abs=1e-3)
+    benchmark.extra_info["xi_found"] = xi
+    benchmark.extra_info["xi_paper"] = paper_xi
+    benchmark.extra_info["min_delay_retiming_xi"] = 3.0
+    print(f"MIN_EFF_CYC xi={xi:.3f} vs paper optimum {paper_xi:.3f} "
+          f"(min-delay retiming: 3.0)")

@@ -1,0 +1,50 @@
+"""Ablation: throughput estimators (exact Markov chain, TGMG simulation,
+structural elastic simulation, LP bound).
+
+Compares accuracy against the analytical throughput of the Figure 2
+configuration and records the runtime of each estimator on the same graph.
+"""
+
+import pytest
+
+from repro.elastic.simulator import simulate_elastic_throughput
+from repro.gmg.lp_bound import throughput_upper_bound
+from repro.gmg.markov import exact_throughput
+from repro.gmg.simulation import simulate_throughput
+from repro.workloads.examples import figure2_expected_throughput, figure2_rrg
+
+from bench_utils import run_once
+
+ALPHA = 0.8
+EXPECTED = figure2_expected_throughput(ALPHA)
+
+
+def test_markov_exact(benchmark):
+    rrg = figure2_rrg(ALPHA)
+    result = run_once(benchmark, exact_throughput, rrg)
+    assert result.throughput == pytest.approx(EXPECTED, abs=1e-6)
+    benchmark.extra_info["throughput"] = result.throughput
+    benchmark.extra_info["states"] = result.num_states
+
+
+def test_tgmg_simulation(benchmark):
+    rrg = figure2_rrg(ALPHA)
+    value = run_once(benchmark, simulate_throughput, rrg, cycles=20000, seed=1)
+    assert value == pytest.approx(EXPECTED, abs=0.02)
+    benchmark.extra_info["throughput"] = value
+
+
+def test_elastic_circuit_simulation(benchmark):
+    rrg = figure2_rrg(ALPHA)
+    value = run_once(
+        benchmark, simulate_elastic_throughput, rrg, cycles=20000, seed=1
+    )
+    assert value == pytest.approx(EXPECTED, abs=0.02)
+    benchmark.extra_info["throughput"] = value
+
+
+def test_lp_bound(benchmark):
+    rrg = figure2_rrg(ALPHA)
+    value = run_once(benchmark, throughput_upper_bound, rrg)
+    assert value == pytest.approx(EXPECTED, abs=1e-6)
+    benchmark.extra_info["throughput_bound"] = value

@@ -1,0 +1,50 @@
+"""Ablation: scipy/HiGHS backend vs the pure-Python simplex + branch & bound.
+
+The paper used CPLEX; this repository ships two interchangeable solver
+backends.  The benchmark checks that they return the same optima on the
+motivational example and compares their runtime on the MIN_CYC / MAX_THR
+programs.
+"""
+
+import pytest
+
+from repro.core.milp import MilpSettings, max_throughput, min_cycle_time
+from repro.workloads.examples import figure1a_rrg, unbalanced_fork_join
+
+from bench_utils import run_once
+
+
+def solve_with(backend, rrg):
+    settings = MilpSettings(backend=backend)
+    a = min_cycle_time(rrg, x=1.0, settings=settings)
+    b = max_throughput(rrg, tau=rrg.max_delay, settings=settings)
+    return a.cycle_time, b.throughput_bound
+
+
+def test_scipy_backend(benchmark):
+    rrg = figure1a_rrg(0.9)
+    tau, theta = run_once(benchmark, solve_with, "scipy", rrg)
+    assert tau == pytest.approx(3.0)
+    assert theta == pytest.approx(1.0 / (3 - 2 * 0.9), abs=1e-6)
+    benchmark.extra_info["min_cyc_tau"] = tau
+    benchmark.extra_info["max_thr_theta"] = theta
+
+
+def test_pure_backend(benchmark):
+    rrg = figure1a_rrg(0.9)
+    tau, theta = run_once(benchmark, solve_with, "pure", rrg)
+    assert tau == pytest.approx(3.0)
+    assert theta == pytest.approx(1.0 / (3 - 2 * 0.9), abs=1e-6)
+    benchmark.extra_info["min_cyc_tau"] = tau
+    benchmark.extra_info["max_thr_theta"] = theta
+
+
+def test_backends_agree_on_fork_join(benchmark):
+    rrg = unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0)
+
+    def both():
+        return solve_with("scipy", rrg), solve_with("pure", rrg)
+
+    (scipy_result, pure_result) = run_once(benchmark, both)
+    assert scipy_result[0] == pytest.approx(pure_result[0], abs=1e-6)
+    assert scipy_result[1] == pytest.approx(pure_result[1], abs=1e-6)

@@ -1,0 +1,52 @@
+"""Pareto-front exploration on an s526-like benchmark (Table 1 of the paper).
+
+Generates a synthetic graph with the published size of the s526 benchmark,
+runs MIN_EFF_CYC, simulates every non-dominated configuration and prints the
+Table 1 columns (cycle time, LP bound, simulated throughput, bound error and
+effective cycle times).
+
+Run with::
+
+    python examples/pareto_exploration.py            # scaled-down, fast
+    python examples/pareto_exploration.py --full     # published size (slower)
+"""
+
+import argparse
+
+from repro.core.milp import MilpSettings
+from repro.experiments.reporting import format_table
+from repro.experiments.table1 import run_table1, table1_as_rows
+from repro.workloads.iscas_like import SPEC_BY_NAME, iscas_like_rrg, scaled_spec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the published graph size (slower)")
+    parser.add_argument("--circuit", default="s526",
+                        help="Table 2 circuit name to mimic (default: s526)")
+    args = parser.parse_args()
+
+    spec = SPEC_BY_NAME[args.circuit]
+    if not args.full:
+        spec = scaled_spec(spec, 0.4)
+    rrg = iscas_like_rrg(spec, seed=42)
+    print(f"benchmark: {rrg}")
+
+    result = run_table1(
+        rrg,
+        epsilon=0.05,
+        cycles=4000,
+        settings=MilpSettings(time_limit=60),
+    )
+    headers = ["name", "tau", "Theta_lp", "Theta", "err%", "xi_lp", "xi"]
+    print(format_table(headers, table1_as_rows(result)))
+    print(f"Delta between RC_lp_min and RC_min: {result.delta_percent:.1f}%")
+    best = result.best_by_simulation
+    worst = max(result.rows, key=lambda r: r.effective_cycle_time)
+    print(f"best effective cycle time : {best.effective_cycle_time:.2f}")
+    print(f"worst stored configuration: {worst.effective_cycle_time:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

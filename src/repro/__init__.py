@@ -1,0 +1,79 @@
+"""repro: retiming and recycling for elastic systems with early evaluation.
+
+A from-scratch Python reproduction of Bufistov, Cortadella, Galceran-Oms,
+Julvez and Kishinevsky, "Retiming and recycling for elastic systems with
+early evaluation", DAC 2009.
+
+The package is organised as:
+
+* :mod:`repro.core` — the RRG model, retiming-and-recycling configurations,
+  the MILP formulations (MIN_CYC / MAX_THR) and the MIN_EFF_CYC optimiser;
+* :mod:`repro.gmg` — timed guarded marked graphs: construction from an RRG
+  (Procedures 1 and 2), simulation, exact Markov analysis and the LP
+  throughput bound;
+* :mod:`repro.analysis` — cycle time, effective cycle time and Pareto
+  dominance;
+* :mod:`repro.lp` — the LP/MILP modelling layer and solvers;
+* :mod:`repro.retiming` — classical Leiserson-Saxe retiming baselines;
+* :mod:`repro.elastic` — the structural elastic-circuit substrate (SELF
+  controllers, cycle-accurate simulation, Verilog emission);
+* :mod:`repro.workloads` — example graphs and the random benchmark generator;
+* :mod:`repro.experiments` — drivers regenerating the paper's tables and
+  figures.
+
+Quickstart::
+
+    from repro import RRG, min_effective_cycle_time, simulate_throughput
+
+    rrg = RRG("loop")
+    ...  # add nodes and channels
+    result = min_effective_cycle_time(rrg)
+    print(result.best.effective_cycle_time_bound)
+    print(simulate_throughput(result.best.configuration))
+"""
+
+from repro.core.rrg import RRG, Edge, Node, RRGError
+from repro.core.configuration import RRConfiguration, RetimingVector
+from repro.core.milp import MilpSettings, MilpOutcome, max_throughput, min_cycle_time
+from repro.core.optimizer import (
+    OptimizationResult,
+    ParetoPoint,
+    min_effective_cycle_time,
+)
+from repro.core.throughput import configuration_throughput_bound
+from repro.analysis.cycle_time import cycle_time, critical_path
+from repro.analysis.performance import PerformancePoint, effective_cycle_time
+from repro.gmg.lp_bound import throughput_upper_bound
+from repro.gmg.markov import exact_throughput
+from repro.gmg.simulation import simulate_throughput
+from repro.retiming.min_delay import min_delay_retiming
+from repro.retiming.late_evaluation import late_evaluation_baseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RRG",
+    "Edge",
+    "Node",
+    "RRGError",
+    "RRConfiguration",
+    "RetimingVector",
+    "MilpSettings",
+    "MilpOutcome",
+    "min_cycle_time",
+    "max_throughput",
+    "OptimizationResult",
+    "ParetoPoint",
+    "min_effective_cycle_time",
+    "configuration_throughput_bound",
+    "cycle_time",
+    "critical_path",
+    "PerformancePoint",
+    "effective_cycle_time",
+    "throughput_upper_bound",
+    "exact_throughput",
+    "simulate_throughput",
+    "min_delay_retiming",
+    "late_evaluation_baseline",
+    "__version__",
+]

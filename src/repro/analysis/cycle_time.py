@@ -1,0 +1,158 @@
+"""Cycle-time (maximum combinational path delay) analysis.
+
+A combinational path (Definition 2.2) is a path whose edges all carry zero
+elastic buffers; its delay is the sum of the delays of *all* nodes on the
+path, endpoints included.  The cycle time of an RRG (Definition 2.3) is the
+maximum delay over all combinational paths.
+
+Because liveness forces at least one buffered edge on every directed cycle,
+the zero-buffer subgraph of a valid RRG is acyclic and the cycle time is a
+longest-path computation in a DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.rrg import RRG
+
+
+class CombinationalCycleError(Exception):
+    """Raised when the zero-buffer subgraph contains a directed cycle.
+
+    Such an RRG has an unbroken combinational loop, i.e. an infinite cycle
+    time; it violates the liveness requirement of Definition 2.1.
+    """
+
+
+@dataclass
+class CriticalPath:
+    """A maximum-delay combinational path.
+
+    Attributes:
+        nodes: Node names along the path, in order.
+        delay: Total combinational delay of the path.
+    """
+
+    nodes: List[str]
+    delay: float
+
+
+def zero_buffer_subgraph(rrg: RRG, buffers: Optional[Dict[int, int]] = None) -> nx.DiGraph:
+    """Return the subgraph of edges with zero buffers as a networkx DiGraph.
+
+    Args:
+        rrg: The graph under analysis.
+        buffers: Optional override of the buffer count per edge index; defaults
+            to the RRG's own buffer assignment.  This lets callers evaluate
+            candidate configurations without copying the RRG.
+    """
+    graph = nx.DiGraph()
+    for node in rrg.nodes:
+        graph.add_node(node.name, delay=node.delay)
+    for edge in rrg.edges:
+        count = edge.buffers if buffers is None else buffers.get(edge.index, edge.buffers)
+        if count == 0:
+            graph.add_edge(edge.src, edge.dst)
+    return graph
+
+
+def node_arrival_times(
+    rrg: RRG, buffers: Optional[Dict[int, int]] = None
+) -> Dict[str, float]:
+    """Latest combinational arrival time at the output of every node.
+
+    The arrival time of a node is the maximum, over combinational paths ending
+    at the node, of the path delay.  The cycle time is the maximum arrival
+    time over all nodes.
+
+    Raises:
+        CombinationalCycleError: when a zero-buffer cycle exists.
+    """
+    graph = zero_buffer_subgraph(rrg, buffers)
+    try:
+        order = list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible as exc:
+        raise CombinationalCycleError(
+            f"RRG {rrg.name!r} contains a combinational cycle"
+        ) from exc
+    arrival: Dict[str, float] = {}
+    for name in order:
+        incoming = [arrival[pred] for pred in graph.predecessors(name)]
+        arrival[name] = rrg.delay(name) + (max(incoming) if incoming else 0.0)
+    return arrival
+
+
+def cycle_time(rrg: RRG, buffers: Optional[Dict[int, int]] = None) -> float:
+    """Cycle time tau(RRG): the maximum combinational path delay.
+
+    Args:
+        rrg: The graph under analysis.
+        buffers: Optional buffer-count override per edge index.
+    """
+    if rrg.num_nodes == 0:
+        return 0.0
+    arrival = node_arrival_times(rrg, buffers)
+    return max(arrival.values())
+
+
+def critical_path(
+    rrg: RRG, buffers: Optional[Dict[int, int]] = None
+) -> CriticalPath:
+    """Extract one maximum-delay combinational path.
+
+    Returns:
+        A :class:`CriticalPath` with the node sequence and its delay.  For an
+        empty RRG the path is empty with zero delay.
+    """
+    if rrg.num_nodes == 0:
+        return CriticalPath(nodes=[], delay=0.0)
+    graph = zero_buffer_subgraph(rrg, buffers)
+    arrival = node_arrival_times(rrg, buffers)
+    end = max(arrival, key=arrival.get)
+    path = [end]
+    current = end
+    while True:
+        target = arrival[current] - rrg.delay(current)
+        predecessor = None
+        for pred in graph.predecessors(current):
+            if abs(arrival[pred] - target) <= 1e-9:
+                predecessor = pred
+                break
+        if predecessor is None:
+            break
+        path.append(predecessor)
+        current = predecessor
+    path.reverse()
+    return CriticalPath(nodes=path, delay=arrival[end])
+
+
+def path_delay(rrg: RRG, nodes: List[str]) -> float:
+    """Delay of an explicit node path (sum of node delays)."""
+    return sum(rrg.delay(name) for name in nodes)
+
+
+def is_combinational_path(
+    rrg: RRG, nodes: List[str], buffers: Optional[Dict[int, int]] = None
+) -> bool:
+    """Check that consecutive nodes are linked by at least one zero-buffer edge."""
+    if len(nodes) < 2:
+        return True
+    for src, dst in zip(nodes, nodes[1:]):
+        candidates = rrg.edges_between(src, dst)
+        if not candidates:
+            return False
+        found = False
+        for edge in candidates:
+            count = (
+                edge.buffers if buffers is None else buffers.get(edge.index, edge.buffers)
+            )
+            if count == 0:
+                found = True
+                break
+        if not found:
+            return False
+    return True

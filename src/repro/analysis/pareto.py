@@ -1,0 +1,71 @@
+"""Dominance and Pareto fronts over (cycle time, throughput) points.
+
+Definition 4.1 of the paper: configuration RC1 *dominates* RC2 when its
+throughput is strictly larger and its cycle time is not larger.  A
+configuration is non-dominated when no other configuration dominates it; the
+configuration of minimum effective cycle time is always non-dominated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TypeVar
+
+PointLike = Tuple[float, float]
+T = TypeVar("T")
+
+
+def dominates(
+    cycle_time_a: float,
+    throughput_a: float,
+    cycle_time_b: float,
+    throughput_b: float,
+    tolerance: float = 1e-9,
+) -> bool:
+    """True when point A dominates point B (Definition 4.1).
+
+    A dominates B iff ``throughput(A) > throughput(B)`` and
+    ``cycle_time(A) <= cycle_time(B)``.
+    """
+    return (
+        throughput_a > throughput_b + tolerance
+        and cycle_time_a <= cycle_time_b + tolerance
+    )
+
+
+def pareto_front(
+    points: Sequence[PointLike], tolerance: float = 1e-9
+) -> List[int]:
+    """Indices of non-dominated (cycle_time, throughput) points.
+
+    Args:
+        points: Sequence of ``(cycle_time, throughput)`` pairs.
+        tolerance: Numerical slack used in the dominance comparisons.
+
+    Returns:
+        Indices into ``points`` of the non-dominated entries, sorted by
+        increasing cycle time.
+    """
+    indices: List[int] = []
+    for i, (tau_i, theta_i) in enumerate(points):
+        dominated = False
+        for j, (tau_j, theta_j) in enumerate(points):
+            if i == j:
+                continue
+            if dominates(tau_j, theta_j, tau_i, theta_i, tolerance):
+                dominated = True
+                break
+        if not dominated:
+            indices.append(i)
+    indices.sort(key=lambda i: (points[i][0], -points[i][1]))
+    return indices
+
+
+def pareto_filter(
+    items: Sequence[T],
+    points: Sequence[PointLike],
+    tolerance: float = 1e-9,
+) -> List[T]:
+    """Return the items whose associated points are non-dominated."""
+    if len(items) != len(points):
+        raise ValueError("items and points must have equal length")
+    return [items[i] for i in pareto_front(points, tolerance)]

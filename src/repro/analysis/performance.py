@@ -1,0 +1,104 @@
+"""Effective cycle time and configuration performance summaries.
+
+The effective cycle time (Definition 2.5) is the ratio of the cycle time to
+the throughput: it measures the average time per unit of useful work and is
+the quantity the paper minimises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.core.configuration import RRConfiguration
+
+
+def effective_cycle_time(cycle_time: float, throughput: float) -> float:
+    """xi = tau / Theta; infinite when the throughput is zero."""
+    if throughput <= 0.0:
+        return math.inf
+    return cycle_time / throughput
+
+
+@dataclass
+class PerformancePoint:
+    """Performance summary of one configuration.
+
+    Attributes:
+        label: Free-form identifier of the configuration.
+        cycle_time: tau(RC).
+        throughput_bound: LP upper bound Theta_lp(RC), when computed.
+        throughput: Estimated actual throughput Theta(RC) (simulation or
+            Markov chain), when computed.
+        total_buffers: Number of elastic buffers in the configuration.
+        total_bubbles: Number of inserted bubbles.
+    """
+
+    label: str
+    cycle_time: float
+    throughput_bound: Optional[float] = None
+    throughput: Optional[float] = None
+    total_buffers: int = 0
+    total_bubbles: int = 0
+
+    @property
+    def effective_cycle_time_bound(self) -> float:
+        """xi_lp = tau / Theta_lp (optimistic, because Theta_lp >= Theta)."""
+        if self.throughput_bound is None:
+            return math.inf
+        return effective_cycle_time(self.cycle_time, self.throughput_bound)
+
+    @property
+    def effective_cycle_time(self) -> float:
+        """xi = tau / Theta using the measured throughput."""
+        if self.throughput is None:
+            return math.inf
+        return effective_cycle_time(self.cycle_time, self.throughput)
+
+    @property
+    def bound_error_percent(self) -> float:
+        """Relative gap between the LP bound and the measured throughput, in %."""
+        if not self.throughput or self.throughput_bound is None:
+            return math.nan
+        return abs(self.throughput_bound - self.throughput) / self.throughput * 100.0
+
+    def __repr__(self) -> str:
+        parts = [f"tau={self.cycle_time:.4g}"]
+        if self.throughput_bound is not None:
+            parts.append(f"theta_lp={self.throughput_bound:.4g}")
+        if self.throughput is not None:
+            parts.append(f"theta={self.throughput:.4g}")
+        return f"PerformancePoint({self.label!r}, {', '.join(parts)})"
+
+
+ThroughputEstimator = Callable[["RRConfiguration"], float]
+
+
+def evaluate_configuration(
+    configuration: "RRConfiguration",
+    throughput_bound: Optional[ThroughputEstimator] = None,
+    throughput: Optional[ThroughputEstimator] = None,
+    label: Optional[str] = None,
+) -> PerformancePoint:
+    """Build a :class:`PerformancePoint` for a configuration.
+
+    Args:
+        configuration: The configuration to evaluate.
+        throughput_bound: Callable returning the LP throughput upper bound;
+            skipped when ``None``.
+        throughput: Callable returning the measured throughput (simulation or
+            exact Markov analysis); skipped when ``None``.
+        label: Overrides the configuration label in the result.
+    """
+    return PerformancePoint(
+        label=label or configuration.label or configuration.rrg.name,
+        cycle_time=configuration.cycle_time(),
+        throughput_bound=(
+            throughput_bound(configuration) if throughput_bound is not None else None
+        ),
+        throughput=throughput(configuration) if throughput is not None else None,
+        total_buffers=configuration.total_buffers,
+        total_bubbles=configuration.total_bubbles,
+    )

@@ -1,0 +1,24 @@
+"""Core data model and optimisation algorithms of the reproduction.
+
+* :mod:`repro.core.rrg` — the Retiming and Recycling Graph (Definition 2.1).
+* :mod:`repro.core.configuration` — retiming vectors and RR configurations.
+* :mod:`repro.core.path_constraints` — cycle-time constraints (Lemma 2.1).
+* :mod:`repro.core.throughput` — throughput constraints (Lemma 3.2) and the
+  LP bound for a fixed configuration.
+* :mod:`repro.core.milp` — the MIN_CYC and MAX_THR mixed-integer programs.
+* :mod:`repro.core.optimizer` — the MIN_EFF_CYC heuristic (Section 4).
+* :mod:`repro.core.transformations` — elementary retiming moves and bubble
+  insertion (recycling) as graph rewrites.
+"""
+
+from repro.core.rrg import RRG, Edge, Node, RRGError
+from repro.core.configuration import RRConfiguration, RetimingVector
+
+__all__ = [
+    "RRG",
+    "Edge",
+    "Node",
+    "RRGError",
+    "RRConfiguration",
+    "RetimingVector",
+]

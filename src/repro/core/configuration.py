@@ -1,0 +1,175 @@
+"""Retiming vectors and retiming-and-recycling configurations.
+
+A retiming vector (Definition 2.6) maps each node to an integer lag; it
+transforms the token count of edge ``(u, v)`` as ``R0'(e) = R0(e) + r(v) -
+r(u)``.  A retiming-and-recycling configuration (Definition 2.7) is a pair of
+vectors ``(R0', R')`` obtained from some retiming vector together with a
+buffer assignment satisfying ``R' >= R0'`` and ``R' >= 0``.
+
+The number of buffers in excess of what retiming alone would give
+(``R' - max(R0', 0)``) is the *recycling* part: bubbles inserted on channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.analysis.cycle_time import cycle_time
+from repro.core.rrg import RRG, RRGError
+
+
+@dataclass(frozen=True)
+class RetimingVector:
+    """An integer lag per node.
+
+    Nodes absent from ``lags`` implicitly have lag zero, so the identity
+    retiming is ``RetimingVector({})``.
+    """
+
+    lags: Mapping[str, int] = field(default_factory=dict)
+
+    def lag(self, node: str) -> int:
+        """Lag of ``node`` (0 when unspecified)."""
+        return int(self.lags.get(node, 0))
+
+    def shifted_tokens(self, rrg: RRG) -> Dict[int, int]:
+        """Token counts after applying this retiming to ``rrg``."""
+        return {
+            e.index: e.tokens + self.lag(e.dst) - self.lag(e.src) for e in rrg.edges
+        }
+
+    def normalized(self) -> "RetimingVector":
+        """Equivalent vector whose minimum lag is zero.
+
+        Adding a constant to every lag leaves all token counts unchanged, so
+        retiming vectors are only defined up to a global shift.
+        """
+        if not self.lags:
+            return self
+        minimum = min(self.lags.values())
+        return RetimingVector({k: v - minimum for k, v in self.lags.items()})
+
+    def __add__(self, other: "RetimingVector") -> "RetimingVector":
+        names = set(self.lags) | set(other.lags)
+        return RetimingVector({n: self.lag(n) + other.lag(n) for n in names})
+
+
+class RRConfiguration:
+    """A retiming-and-recycling configuration of a base RRG.
+
+    The configuration stores the base graph, the applied retiming vector and
+    the buffer assignment.  Token counts are always derived from the base
+    graph plus the retiming vector, which guarantees that every configuration
+    is reachable by a legal retiming (cycle token sums are preserved by
+    construction).
+    """
+
+    def __init__(
+        self,
+        rrg: RRG,
+        retiming: Optional[RetimingVector] = None,
+        buffers: Optional[Mapping[int, int]] = None,
+        label: str = "",
+    ) -> None:
+        self.rrg = rrg
+        self.retiming = retiming or RetimingVector({})
+        self._tokens = self.retiming.shifted_tokens(rrg)
+        if buffers is None:
+            buffer_map = {idx: max(count, 0) for idx, count in self._tokens.items()}
+        else:
+            buffer_map = {e.index: int(buffers.get(e.index, 0)) for e in rrg.edges}
+        self._buffers = buffer_map
+        self.label = label
+        self._validate()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def identity(cls, rrg: RRG) -> "RRConfiguration":
+        """The configuration of the RRG as given (no retiming, no bubbles)."""
+        return cls(
+            rrg,
+            RetimingVector({}),
+            {e.index: e.buffers for e in rrg.edges},
+            label="identity",
+        )
+
+    def _validate(self) -> None:
+        for edge in self.rrg.edges:
+            tokens = self._tokens[edge.index]
+            buffers = self._buffers[edge.index]
+            if buffers < 0:
+                raise RRGError(
+                    f"configuration has negative buffer count on edge "
+                    f"{edge.src}->{edge.dst}"
+                )
+            if buffers < tokens:
+                raise RRGError(
+                    f"configuration violates R >= R0 on edge {edge.src}->{edge.dst}: "
+                    f"{buffers} < {tokens}"
+                )
+
+    # -- per-edge views --------------------------------------------------------
+
+    def tokens(self, edge_index: int) -> int:
+        """R0' of the edge."""
+        return self._tokens[edge_index]
+
+    def buffers(self, edge_index: int) -> int:
+        """R' of the edge."""
+        return self._buffers[edge_index]
+
+    def bubbles(self, edge_index: int) -> int:
+        """Number of empty buffers (R' minus the tokens they hold, floored at 0)."""
+        return self._buffers[edge_index] - max(self._tokens[edge_index], 0)
+
+    def token_vector(self) -> Dict[int, int]:
+        """Copy of the full R0' vector keyed by edge index."""
+        return dict(self._tokens)
+
+    def buffer_vector(self) -> Dict[int, int]:
+        """Copy of the full R' vector keyed by edge index."""
+        return dict(self._buffers)
+
+    @property
+    def total_buffers(self) -> int:
+        """Total number of elastic buffers in the configuration."""
+        return sum(self._buffers.values())
+
+    @property
+    def total_bubbles(self) -> int:
+        """Total number of inserted bubbles across all edges."""
+        return sum(self.bubbles(e.index) for e in self.rrg.edges)
+
+    @property
+    def has_antitokens(self) -> bool:
+        """True when some edge carries a negative token count."""
+        return any(count < 0 for count in self._tokens.values())
+
+    # -- derived objects ---------------------------------------------------------
+
+    def as_rrg(self, name: Optional[str] = None) -> RRG:
+        """Materialise the configuration as a standalone RRG."""
+        return self.rrg.with_assignment(
+            self._tokens, self._buffers, name=name or f"{self.rrg.name}-rc"
+        )
+
+    def cycle_time(self) -> float:
+        """Cycle time tau(RC) of the configuration."""
+        return cycle_time(self.rrg, self._buffers)
+
+    # -- comparisons ---------------------------------------------------------------
+
+    def same_assignment(self, other: "RRConfiguration") -> bool:
+        """True when both configurations have identical R0' and R' vectors."""
+        return (
+            self._tokens == other._tokens and self._buffers == other._buffers
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.label!r}" if self.label else ""
+        return (
+            f"RRConfiguration({self.rrg.name!r}{label}, "
+            f"buffers={self.total_buffers}, bubbles={self.total_bubbles})"
+        )

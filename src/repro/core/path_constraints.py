@@ -1,0 +1,118 @@
+"""Cycle-time (combinational path) constraints — Lemma 2.1.
+
+Given a candidate buffer assignment R' and a target cycle time ``tau``, the
+configuration meets ``tau`` iff the following system is feasible::
+
+    tin(e)  >= tout(e') + beta(u)        for every e' = (w, u), e = (u, v)
+    tout(e) >= tin(e) - tau_star * R'(e)
+    tout(e) >= 0
+    tin(e)  <= tau
+
+``tau_star`` is any constant larger than every achievable cycle time; the sum
+of all combinational delays is used, as suggested in the paper.  The
+constraints are linear in R' and in ``tau``, so they can be embedded in the
+MIN_CYC / MAX_THR mixed-integer programs with either quantity as a variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.rrg import RRG
+from repro.lp import LinExpr, Model, Variable
+
+NumberOrVar = Union[int, float, Variable, LinExpr]
+
+
+def add_path_constraints(
+    model: Model,
+    rrg: RRG,
+    buffers: Mapping[int, NumberOrVar],
+    tau: NumberOrVar,
+    tau_star: Optional[float] = None,
+    prefix: str = "path",
+) -> Tuple[Dict[int, Variable], Dict[int, Variable]]:
+    """Add the Lemma 2.1 constraints to ``model``.
+
+    Args:
+        model: Target LP/MILP model.
+        rrg: Graph providing the structure and the node delays.
+        buffers: Per-edge buffer counts R' (edge index -> constant or model
+            variable).
+        tau: Cycle-time bound (constant or model variable).
+        tau_star: Big-M constant; defaults to the sum of all node delays,
+            which upper-bounds any combinational path delay.
+        prefix: Name prefix for the auxiliary timing variables.
+
+    Returns:
+        ``(tin, tout)`` dictionaries of timing variables keyed by edge index.
+    """
+    if tau_star is None:
+        tau_star = max(rrg.total_delay, rrg.max_delay, 1.0)
+
+    tin: Dict[int, Variable] = {}
+    tout: Dict[int, Variable] = {}
+    for edge in rrg.edges:
+        tin[edge.index] = model.add_var(f"{prefix}_tin[{edge.index}]", lb=0.0)
+        tout[edge.index] = model.add_var(f"{prefix}_tout[{edge.index}]", lb=0.0)
+
+    for node in rrg.nodes:
+        beta = rrg.delay(node.name)
+        incoming = rrg.in_edges(node.name)
+        outgoing = rrg.out_edges(node.name)
+        for out_edge in outgoing:
+            if incoming:
+                for in_edge in incoming:
+                    model.add_constr(
+                        tin[out_edge.index] >= tout[in_edge.index] + beta,
+                        name=f"{prefix}_arr[{in_edge.index}->{out_edge.index}]",
+                    )
+            else:
+                model.add_constr(
+                    tin[out_edge.index] >= beta,
+                    name=f"{prefix}_src[{out_edge.index}]",
+                )
+        tau_expr = LinExpr.from_value(tau)
+        if not outgoing:
+            # Sink nodes: their delay still contributes to path delays ending
+            # there (trivial extension of the lemma to non-strongly-connected
+            # graphs).
+            for in_edge in incoming:
+                model.add_constr(
+                    tau_expr >= tout[in_edge.index] + beta,
+                    name=f"{prefix}_sink[{in_edge.index}]",
+                )
+        # Single-node paths: the cycle time can never be below any node delay.
+        model.add_constr(tau_expr >= beta, name=f"{prefix}_node[{node.name}]")
+
+    for edge in rrg.edges:
+        model.add_constr(
+            tout[edge.index] >= tin[edge.index] - tau_star * buffers[edge.index],
+            name=f"{prefix}_reg[{edge.index}]",
+        )
+        model.add_constr(
+            tin[edge.index] <= tau, name=f"{prefix}_tau[{edge.index}]"
+        )
+
+    return tin, tout
+
+
+def check_cycle_time_feasible(
+    rrg: RRG,
+    buffers: Mapping[int, int],
+    tau: float,
+    backend: str = "auto",
+) -> bool:
+    """LP feasibility check of Lemma 2.1 for a concrete buffer assignment.
+
+    This is mainly used by the test-suite to verify that the constraint system
+    agrees with the direct longest-path computation of
+    :func:`repro.analysis.cycle_time.cycle_time`.
+    """
+    from repro.lp import SolveStatus
+
+    model = Model(f"{rrg.name}-pathcheck", sense="min")
+    add_path_constraints(model, rrg, buffers, tau)
+    model.set_objective(LinExpr({}, 0.0))
+    solution = model.solve(backend=backend)
+    return solution.status is SolveStatus.OPTIMAL

@@ -1,0 +1,152 @@
+"""Throughput constraints (Lemma 3.2) and the LP bound for configurations.
+
+The constraints are generated from the TGMG template produced by Procedures 1
+and 2 (:mod:`repro.gmg.build`).  Writing them with ``x = 1 / Theta`` and a
+scaled firing-count vector ``sigma`` gives, for every TGMG node ``n``::
+
+    delta(n) <= x * m0(e) + sigma(u) - sigma(n)          n simple, e = (u, n)
+    delta(n) <= sum_e gamma(e) * (x * m0(e) + sigma(u_e) - sigma(n))   n early
+
+where ``delta`` is either a constant (0 for split/merge nodes, 1 for the
+Procedure 2 server nodes) or the buffer count R'(e) of an RRG edge, and
+``m0`` is either a constant or the token count R0(e) of an RRG edge.  These
+are exactly the inequalities (5)-(10) of the paper, written structurally.
+
+Retiming invariance
+-------------------
+The constraints always use the *original* token counts R0 of the base RRG,
+even inside MILPs that retime the graph.  This is sound because the LP bound
+is invariant under retiming for a fixed buffer assignment: a retiming shifts
+``m0(e)`` by ``r(v) - r(u)``, and the substitution ``sigma(n) -> sigma(n) +
+x * r(n)`` (extended over the auxiliary TGMG nodes) maps the shifted system
+back onto the original one; since ``sigma`` is free, both systems are
+feasible for exactly the same values of ``x`` and R'.  Keeping R0 constant is
+what makes the MAX_THR program linear even though both ``x`` and the retiming
+are variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from repro.core.configuration import RRConfiguration
+from repro.core.rrg import RRG
+from repro.gmg.build import TGMGTemplate, ValueRef, build_template
+from repro.lp import LinExpr, Model, SolveStatus, Variable
+from repro.lp.errors import SolverError
+
+NumberOrVar = Union[int, float, Variable, LinExpr]
+
+
+def _resolve(
+    ref: ValueRef,
+    tokens: Mapping[int, float],
+    buffers: Mapping[int, NumberOrVar],
+):
+    """Resolve a template reference into a number or a linear expression."""
+    if ref.kind == "const":
+        return ref.constant
+    if ref.kind == "buffers":
+        return buffers[ref.edge_index]
+    if ref.kind == "tokens":
+        return float(tokens[ref.edge_index])
+    raise ValueError(f"unknown ValueRef kind {ref.kind!r}")
+
+
+def add_throughput_constraints(
+    model: Model,
+    rrg: RRG,
+    buffers: Mapping[int, NumberOrVar],
+    x: NumberOrVar,
+    tokens: Optional[Mapping[int, int]] = None,
+    template: Optional[TGMGTemplate] = None,
+    prefix: str = "thr",
+) -> Dict[str, Variable]:
+    """Add the Lemma 3.2 throughput constraints to ``model``.
+
+    Args:
+        model: Target LP/MILP model.
+        rrg: Base graph (structure, early-evaluation marking, probabilities).
+        buffers: Per-edge buffer counts R' (constants or model variables).
+        x: Inverse throughput 1/Theta (constant or model variable).
+        tokens: Token counts R0 to use; defaults to the RRG's original
+            assignment (see the module docstring on retiming invariance).
+        template: Pre-built TGMG template, to avoid rebuilding it on every
+            call when sweeping many configurations of the same graph.
+        prefix: Name prefix for the sigma variables.
+
+    Returns:
+        The ``sigma`` variables keyed by TGMG node name.
+    """
+    if template is None:
+        template = build_template(rrg, refine=True)
+    if tokens is None:
+        tokens = rrg.token_vector()
+
+    sigma: Dict[str, Variable] = {
+        node.name: model.add_var(f"{prefix}_sigma[{node.name}]", lb=None, ub=None)
+        for node in template.nodes
+    }
+    node_by_name = {node.name: node for node in template.nodes}
+
+    incoming_map: Dict[str, list] = {node.name: [] for node in template.nodes}
+    for edge in template.edges:
+        incoming_map[edge.dst].append(edge)
+
+    for node in template.nodes:
+        incoming = incoming_map[node.name]
+        if not incoming:
+            continue
+        delay_term = _resolve(node.delay, tokens, buffers)
+        if node_by_name[node.name].early:
+            average = LinExpr()
+            for edge in incoming:
+                marking = _resolve(edge.marking, tokens, buffers)
+                average = average + edge.probability * (
+                    x * marking + sigma[edge.src] - sigma[node.name]
+                )
+            model.add_constr(
+                average >= delay_term, name=f"{prefix}_early[{node.name}]"
+            )
+        else:
+            for edge in incoming:
+                marking = _resolve(edge.marking, tokens, buffers)
+                model.add_constr(
+                    x * marking + sigma[edge.src] - sigma[node.name] >= delay_term,
+                    name=f"{prefix}_simple[{node.name}][{edge.src}]",
+                )
+    return sigma
+
+
+def configuration_throughput_bound(
+    configuration: RRConfiguration,
+    backend: str = "auto",
+    template: Optional[TGMGTemplate] = None,
+) -> float:
+    """Theta_lp(RC): the LP throughput upper bound of a configuration.
+
+    Solves LP (11): minimise ``x`` subject to the throughput constraints of
+    the configuration, and returns ``1 / x``.  The result agrees with
+    :func:`repro.gmg.lp_bound.throughput_upper_bound` applied to the same
+    configuration (the two formulations are duals of the same construction);
+    both are exposed because the MILPs reuse this constraint generator.
+    """
+    rrg = configuration.rrg
+    model = Model(f"{rrg.name}-theta-lp", sense="min")
+    x = model.add_var("x", lb=1.0)
+    add_throughput_constraints(
+        model,
+        rrg,
+        buffers=configuration.buffer_vector(),
+        x=x,
+        tokens=configuration.token_vector(),
+        template=template,
+    )
+    model.set_objective(x)
+    solution = model.solve(backend=backend)
+    if solution.status is not SolveStatus.OPTIMAL:
+        raise SolverError(
+            f"throughput LP for configuration of {rrg.name!r} failed: "
+            f"{solution.status.value}"
+        )
+    return 1.0 / float(solution[x])

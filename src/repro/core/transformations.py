@@ -1,0 +1,114 @@
+"""Elementary elastic-system transformations: retiming moves and recycling.
+
+These are the local rewrites whose compositions the MILPs search over:
+
+* a *backward retiming move* at node ``n`` removes one buffer/token from every
+  output edge of ``n`` and adds one to every input edge (and vice versa for a
+  forward move) — Definition 2.6 with a unit lag;
+* *recycling* inserts an empty buffer (a bubble) on a channel, which is always
+  behaviour-preserving for elastic systems;
+* the anti-token identity ``0 = 1 - 1`` lets a bubble be rewritten as a token
+  followed by an anti-token, which is what enables retiming across channels
+  that would otherwise run out of tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.configuration import RRConfiguration, RetimingVector
+from repro.core.rrg import RRG, RRGError
+
+
+def retime_node(
+    configuration: RRConfiguration, node: str, amount: int = 1
+) -> RRConfiguration:
+    """Apply a retiming move of ``amount`` to a single node.
+
+    A positive ``amount`` increases the node's lag: each input edge gains
+    ``amount`` tokens and buffers, each output edge loses as many.  Raises
+    :class:`RRGError` if the move would leave an edge with fewer buffers than
+    tokens or with negative buffers.
+    """
+    rrg = configuration.rrg
+    rrg.node(node)  # raises on unknown node names
+    new_lags = dict(configuration.retiming.lags)
+    new_lags[node] = new_lags.get(node, 0) + int(amount)
+    buffers: Dict[int, int] = configuration.buffer_vector()
+    for edge in rrg.in_edges(node):
+        buffers[edge.index] += int(amount)
+    for edge in rrg.out_edges(node):
+        buffers[edge.index] -= int(amount)
+    return RRConfiguration(
+        rrg,
+        retiming=RetimingVector(new_lags),
+        buffers=buffers,
+        label=f"{configuration.label}+retime({node},{amount})",
+    )
+
+
+def insert_bubble(
+    configuration: RRConfiguration, edge_index: int, count: int = 1
+) -> RRConfiguration:
+    """Recycling: add ``count`` empty buffers on a channel.
+
+    Bubble insertion preserves the transferred token stream (it only adds
+    latency), so it is always legal; it lowers the throughput when the channel
+    lies on a cycle whose token count now falls short of its buffer count.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rrg = configuration.rrg
+    rrg.edge(edge_index)  # raises on invalid index
+    buffers = configuration.buffer_vector()
+    buffers[edge_index] += int(count)
+    return RRConfiguration(
+        rrg,
+        retiming=configuration.retiming,
+        buffers=buffers,
+        label=f"{configuration.label}+bubble({edge_index},{count})",
+    )
+
+
+def remove_bubble(
+    configuration: RRConfiguration, edge_index: int, count: int = 1
+) -> RRConfiguration:
+    """Remove up to ``count`` empty buffers from a channel.
+
+    Only bubbles (buffers in excess of the stored tokens) can be removed;
+    attempting to remove more raises :class:`RRGError`.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rrg = configuration.rrg
+    rrg.edge(edge_index)
+    if configuration.bubbles(edge_index) < count:
+        raise RRGError(
+            f"edge {edge_index} has only {configuration.bubbles(edge_index)} "
+            f"bubbles, cannot remove {count}"
+        )
+    buffers = configuration.buffer_vector()
+    buffers[edge_index] -= int(count)
+    return RRConfiguration(
+        rrg,
+        retiming=configuration.retiming,
+        buffers=buffers,
+        label=f"{configuration.label}-bubble({edge_index},{count})",
+    )
+
+
+def apply_retiming(
+    rrg: RRG,
+    lags: Dict[str, int],
+    buffers: Optional[Dict[int, int]] = None,
+) -> RRConfiguration:
+    """Build a configuration from an explicit retiming vector.
+
+    When ``buffers`` is omitted, every edge gets exactly enough buffers to
+    hold its (non-negative) retimed tokens — i.e. retiming without recycling.
+    """
+    vector = RetimingVector(dict(lags))
+    if buffers is None:
+        shifted = vector.shifted_tokens(rrg)
+        buffers = {index: max(value, 0) for index, value in shifted.items()}
+    return RRConfiguration(rrg, retiming=vector, buffers=buffers, label="retimed")

@@ -1,0 +1,44 @@
+"""Structural elastic-circuit (SELF) substrate.
+
+The paper evaluates its configurations by generating Verilog for the elastic
+controllers and simulating them.  This package is the reproduction's
+equivalent substrate:
+
+* :mod:`repro.elastic.channel` — elastic channels (valid/stop handshake) and
+  per-channel token bookkeeping, including anti-token counters,
+* :mod:`repro.elastic.buffer` — elastic buffers (EBs) and EB chains,
+* :mod:`repro.elastic.controller` — join, early-evaluation join and fork
+  controllers,
+* :mod:`repro.elastic.circuit` — building a structural elastic circuit from
+  an RRG or a retiming-and-recycling configuration,
+* :mod:`repro.elastic.simulator` — cycle-accurate simulation measuring the
+  actual throughput,
+* :mod:`repro.elastic.verilog` — a small Verilog emitter for the controllers
+  and the top-level netlist, mirroring the paper's flow.
+"""
+
+from repro.elastic.channel import Channel
+from repro.elastic.buffer import ElasticBuffer, ElasticBufferChain
+from repro.elastic.controller import (
+    EarlyJoinController,
+    ForkController,
+    JoinController,
+    NodeController,
+)
+from repro.elastic.circuit import ElasticCircuit
+from repro.elastic.simulator import ElasticSimulationResult, ElasticSimulator
+from repro.elastic.verilog import generate_verilog
+
+__all__ = [
+    "Channel",
+    "ElasticBuffer",
+    "ElasticBufferChain",
+    "NodeController",
+    "JoinController",
+    "EarlyJoinController",
+    "ForkController",
+    "ElasticCircuit",
+    "ElasticSimulator",
+    "ElasticSimulationResult",
+    "generate_verilog",
+]

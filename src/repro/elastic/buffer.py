@@ -1,0 +1,102 @@
+"""Elastic buffers and buffer chains.
+
+An elastic buffer (EB) has a forward latency of one clock cycle.  A channel
+annotated with ``R`` EBs therefore delays every token by ``R`` cycles; a chain
+of EBs accepts one token per cycle.  Because the simulator assumes FIFOs large
+enough to never exert back-pressure (footnote 1 of the paper), each EB is
+modelled as a single-entry pipeline stage that always advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ElasticBuffer:
+    """A single elastic buffer stage.
+
+    Attributes:
+        occupied: Whether the stage currently holds a token.
+    """
+
+    occupied: bool = False
+
+    def shift(self, incoming: bool) -> bool:
+        """Advance one cycle: accept ``incoming`` and emit the stored token.
+
+        Returns:
+            True when a token leaves the stage this cycle.
+        """
+        outgoing = self.occupied
+        self.occupied = incoming
+        return outgoing
+
+
+@dataclass
+class ElasticBufferChain:
+    """A series of elastic buffers implementing a channel's latency.
+
+    Attributes:
+        stages: The EB stages, ordered from producer side to consumer side.
+    """
+
+    stages: List[ElasticBuffer] = field(default_factory=list)
+
+    @classmethod
+    def of_length(cls, length: int) -> "ElasticBufferChain":
+        if length < 0:
+            raise ValueError("buffer chain length cannot be negative")
+        return cls(stages=[ElasticBuffer() for _ in range(length)])
+
+    @property
+    def length(self) -> int:
+        return len(self.stages)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of tokens currently stored in the chain."""
+        return sum(1 for stage in self.stages if stage.occupied)
+
+    def advance(self, incoming: bool) -> bool:
+        """Clock the chain: shift every stage and emit the consumer-side token.
+
+        A token pushed by the producer during cycle ``t`` is captured by the
+        first EB at the clock edge ending that cycle; it becomes visible to
+        the consumer during cycle ``t + length``.  The emitted token leaves
+        the chain (it moves into the consumer-side FIFO, which the simulator
+        assumes is never full).
+
+        Args:
+            incoming: Whether the producer pushed a token during the previous
+                cycle.
+
+        Returns:
+            True when a token becomes visible to the consumer this cycle (for
+            a zero-length chain the incoming token passes through
+            combinationally).
+        """
+        if not self.stages:
+            return incoming
+        for i in range(len(self.stages) - 1, 0, -1):
+            self.stages[i].occupied = self.stages[i - 1].occupied
+        self.stages[0].occupied = incoming
+        emerged = self.stages[-1].occupied
+        self.stages[-1].occupied = False
+        return emerged
+
+    def preload(self, tokens: int) -> int:
+        """Place up to ``tokens`` initial tokens in the most-downstream stages.
+
+        Returns the number of tokens that did not fit (they are reported back
+        so the caller can make them immediately available at the consumer,
+        which matches the marked-graph view of the initial state).
+        """
+        remaining = int(tokens)
+        for stage in reversed(self.stages):
+            if remaining <= 0:
+                break
+            stage.occupied = True
+            remaining -= 1
+        return max(remaining, 0)

@@ -1,0 +1,89 @@
+"""Elastic channels: the valid/stop handshake endpoint of the simulator.
+
+A channel connects a producer block to a consumer block.  In a real SELF
+implementation it carries data wires plus a (valid, stop) control pair; for
+throughput analysis only the token flow matters, so the simulator tracks
+
+* ``ready`` — tokens that have traversed the channel's buffers and are
+  waiting at the consumer,
+* ``antitokens`` — outstanding anti-tokens created by an early-evaluation
+  consumer that fired without this channel's token; an arriving token and an
+  anti-token cancel each other.
+
+The paper's "sufficiently sized FIFO" assumption (Section 1, footnote 1)
+means back-pressure never limits the steady-state throughput, so the ready
+queue is unbounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Channel:
+    """Consumer-side token bookkeeping of one RRG edge.
+
+    Attributes:
+        index: RRG edge index this channel implements.
+        source: Producer node name.
+        target: Consumer node name.
+        ready: Tokens available to the consumer.
+        antitokens: Pending anti-tokens at the consumer side.
+    """
+
+    index: int
+    source: str
+    target: str
+    ready: int = 0
+    antitokens: int = 0
+
+    def initialize(self, tokens: int) -> None:
+        """Load the initial marking: positive counts become ready tokens,
+        negative counts become anti-tokens."""
+        self.ready = max(int(tokens), 0)
+        self.antitokens = max(-int(tokens), 0)
+
+    @property
+    def valid(self) -> bool:
+        """The SELF 'valid' view: a token is presented to the consumer."""
+        return self.ready > 0
+
+    @property
+    def marking(self) -> int:
+        """Net token count (ready minus anti-tokens)."""
+        return self.ready - self.antitokens
+
+    def deliver(self, count: int = 1) -> None:
+        """A token arrives at the consumer side; it first cancels anti-tokens."""
+        for _ in range(count):
+            if self.antitokens > 0:
+                self.antitokens -= 1
+            else:
+                self.ready += 1
+
+    def consume(self) -> None:
+        """The consumer takes one token (it must be ready)."""
+        if self.ready <= 0:
+            raise RuntimeError(
+                f"channel {self.source}->{self.target} consumed without a ready token"
+            )
+        self.ready -= 1
+
+    def absorb_antitoken(self) -> None:
+        """An early-evaluation consumer fired without this channel's token.
+
+        If a token happens to be ready it is discarded (the token/anti-token
+        pair cancels immediately); otherwise the anti-token waits for the next
+        arrival.
+        """
+        if self.ready > 0:
+            self.ready -= 1
+        else:
+            self.antitokens += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.source}->{self.target}, ready={self.ready}, "
+            f"antitokens={self.antitokens})"
+        )

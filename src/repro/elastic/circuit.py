@@ -1,0 +1,102 @@
+"""Building a structural elastic circuit from an RRG or a configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.core.configuration import RRConfiguration
+from repro.core.rrg import RRG
+from repro.elastic.buffer import ElasticBufferChain
+from repro.elastic.channel import Channel
+from repro.elastic.controller import (
+    EarlyJoinController,
+    ForkController,
+    JoinController,
+    NodeController,
+)
+
+
+@dataclass
+class _EdgeHardware:
+    """Everything instantiated for one RRG channel."""
+
+    channel: Channel
+    chain: ElasticBufferChain
+    pending_push: bool = False
+
+
+class ElasticCircuit:
+    """A structural elastic circuit: controllers, EB chains and channels.
+
+    The circuit is a direct hardware-style elaboration of a
+    retiming-and-recycling configuration: one join/early-join controller and
+    one fork per combinational block, one EB chain plus consumer-side channel
+    per RRG edge.  It is consumed by
+    :class:`repro.elastic.simulator.ElasticSimulator` and by the Verilog
+    emitter.
+    """
+
+    def __init__(self, rrg: RRG, tokens: Dict[int, int], buffers: Dict[int, int]):
+        self.rrg = rrg
+        self.edges: Dict[int, _EdgeHardware] = {}
+        self.controllers: Dict[str, NodeController] = {}
+        self.forks: Dict[str, ForkController] = {}
+
+        for edge in rrg.edges:
+            channel = Channel(index=edge.index, source=edge.src, target=edge.dst)
+            chain = ElasticBufferChain.of_length(int(buffers[edge.index]))
+            # Initial tokens are presented to the consumer from cycle 0 on
+            # (the marked-graph view of the initial state); the EB chain only
+            # carries tokens produced during simulation.
+            channel.initialize(int(tokens[edge.index]))
+            self.edges[edge.index] = _EdgeHardware(channel=channel, chain=chain)
+
+        for node in rrg.nodes:
+            input_channels = [
+                self.edges[e.index].channel for e in rrg.in_edges(node.name)
+            ]
+            if node.early:
+                probabilities = [e.probability for e in rrg.in_edges(node.name)]
+                controller: NodeController = EarlyJoinController(
+                    node.name, input_channels, probabilities
+                )
+            else:
+                controller = JoinController(node.name, input_channels)
+            self.controllers[node.name] = controller
+            self.forks[node.name] = ForkController(
+                outputs=[self.edges[e.index].channel for e in rrg.out_edges(node.name)]
+            )
+
+    @classmethod
+    def from_source(cls, source: Union[RRG, RRConfiguration]) -> "ElasticCircuit":
+        """Elaborate an RRG (its own assignment) or a configuration."""
+        if isinstance(source, RRConfiguration):
+            return cls(source.rrg, source.token_vector(), source.buffer_vector())
+        return cls(source, source.token_vector(), source.buffer_vector())
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def num_buffers(self) -> int:
+        """Total number of EB stages instantiated."""
+        return sum(hardware.chain.length for hardware in self.edges.values())
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self.controllers.keys())
+
+    def stored_tokens(self) -> int:
+        """Tokens currently stored anywhere in the circuit (net of anti-tokens).
+
+        Counts tokens waiting at consumers, tokens travelling through EB
+        chains and tokens pushed this cycle that the first EB captures at the
+        next clock edge.  On a marked graph (no early evaluation) this count
+        is invariant over time.
+        """
+        total = 0
+        for hardware in self.edges.values():
+            total += hardware.chain.occupancy
+            total += hardware.channel.ready - hardware.channel.antitokens
+            total += 1 if hardware.pending_push else 0
+        return total

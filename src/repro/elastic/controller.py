@@ -1,0 +1,122 @@
+"""Elastic node controllers: join, early-evaluation join and fork.
+
+Each combinational block of the RRG gets one controller.  The controller
+decides, every clock cycle, whether the block fires:
+
+* a :class:`JoinController` (late evaluation) waits for a valid token on every
+  input channel;
+* an :class:`EarlyJoinController` holds a select choice drawn from the branch
+  probabilities and fires as soon as the selected channel is valid, issuing
+  anti-tokens on the channels it did not wait for;
+* the :class:`ForkController` duplicates the fired token onto every output
+  channel (lazy forks are unnecessary because the FIFOs are assumed large
+  enough to never stall).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.elastic.channel import Channel
+
+
+@dataclass
+class ForkController:
+    """Duplicates a fired token onto every output channel of a block."""
+
+    outputs: List[Channel] = field(default_factory=list)
+
+    def distribute(self) -> List[Channel]:
+        """Return the output channels that receive a token on a firing."""
+        return list(self.outputs)
+
+
+class NodeController:
+    """Base class for the input side of a block's control logic."""
+
+    def __init__(self, name: str, inputs: Sequence[Channel]) -> None:
+        self.name = name
+        self.inputs = list(inputs)
+        self.firings = 0
+
+    def can_fire(self, rng: random.Random) -> bool:
+        """Whether the block can fire this cycle."""
+        raise NotImplementedError
+
+    def consume(self) -> None:
+        """Consume input tokens for one firing."""
+        raise NotImplementedError
+
+    def fire(self, rng: random.Random) -> bool:
+        """Attempt one firing; returns True when the block fired."""
+        if not self.can_fire(rng):
+            return False
+        self.consume()
+        self.firings += 1
+        return True
+
+
+class JoinController(NodeController):
+    """Late-evaluation join: every input channel must present a valid token."""
+
+    def can_fire(self, rng: random.Random) -> bool:
+        return all(channel.valid for channel in self.inputs)
+
+    def consume(self) -> None:
+        for channel in self.inputs:
+            channel.consume()
+
+
+class EarlyJoinController(NodeController):
+    """Early-evaluation join with anti-token generation.
+
+    The controller samples a select choice according to the branch
+    probabilities, holds it while the selected channel is not valid, and on
+    firing consumes the selected token while sending an anti-token to every
+    other input channel (which immediately cancels a token that happens to be
+    present).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[Channel],
+        probabilities: Sequence[float],
+    ) -> None:
+        super().__init__(name, inputs)
+        if len(probabilities) != len(self.inputs):
+            raise ValueError(
+                f"controller {name!r}: need one probability per input channel"
+            )
+        total = sum(probabilities)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"controller {name!r}: probabilities sum to {total}, expected 1"
+            )
+        self.probabilities = list(probabilities)
+        self._selected: Optional[int] = None
+
+    @property
+    def pending_selection(self) -> Optional[int]:
+        """Index of the input currently selected (None between firings)."""
+        return self._selected
+
+    def can_fire(self, rng: random.Random) -> bool:
+        if self._selected is None:
+            self._selected = rng.choices(
+                range(len(self.inputs)), weights=self.probabilities, k=1
+            )[0]
+        return self.inputs[self._selected].valid
+
+    def consume(self) -> None:
+        selected = self._selected
+        if selected is None:
+            raise RuntimeError(f"controller {self.name!r} fired without a selection")
+        for position, channel in enumerate(self.inputs):
+            if position == selected:
+                channel.consume()
+            else:
+                channel.absorb_antitoken()
+        self._selected = None

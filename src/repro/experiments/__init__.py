@@ -1,0 +1,40 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+* :mod:`repro.experiments.motivational` — the Figure 1/2 numbers of
+  Section 1.4 (throughputs 0.491 / 0.719 and ``1/(3 - 2 alpha)``).
+* :mod:`repro.experiments.table1` — all non-dominated configurations of one
+  benchmark, with LP bounds and simulated throughputs (Table 1).
+* :mod:`repro.experiments.table2` — the full benchmark sweep: initial,
+  late-evaluation and early-evaluation effective cycle times plus the
+  improvement percentage (Table 2).
+* :mod:`repro.experiments.ablations` — the observations of Section 5
+  (improvement requires early-evaluation nodes on critical cycles; LP bound
+  error grows with the number of bubbles).
+* :mod:`repro.experiments.reporting` — plain-text table rendering shared by
+  the examples and the benchmark harness.
+"""
+
+from repro.experiments.motivational import MotivationalRow, run_motivational
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.table2 import Table2Row, run_table2
+from repro.experiments.ablations import (
+    EarlyPlacementResult,
+    LpErrorSample,
+    early_evaluation_placement_study,
+    lp_error_study,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "MotivationalRow",
+    "run_motivational",
+    "Table1Row",
+    "run_table1",
+    "Table2Row",
+    "run_table2",
+    "EarlyPlacementResult",
+    "LpErrorSample",
+    "early_evaluation_placement_study",
+    "lp_error_study",
+    "format_table",
+]

@@ -1,0 +1,91 @@
+"""The motivational example of the paper (Figures 1 and 2, Section 1.4).
+
+For each value of the select probability ``alpha`` this experiment reports,
+for the three configurations of the figures:
+
+* the cycle time,
+* the exact throughput (reachable-marking Markov chain),
+* a simulated throughput estimate,
+* the LP upper bound,
+* the effective cycle time,
+
+and checks them against the numbers quoted in the paper: throughput 0.491 at
+``alpha = 0.5`` and 0.719 at ``alpha = 0.9`` for Figure 1(b), and
+``1 / (3 - 2 alpha)`` for the optimal configuration of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.cycle_time import cycle_time
+from repro.gmg.lp_bound import throughput_upper_bound
+from repro.gmg.markov import exact_throughput
+from repro.gmg.simulation import simulate_throughput
+from repro.workloads.examples import (
+    figure1a_rrg,
+    figure1b_rrg,
+    figure2_expected_throughput,
+    figure2_rrg,
+)
+
+
+@dataclass
+class MotivationalRow:
+    """One (configuration, alpha) data point of the motivational example.
+
+    Attributes:
+        figure: "1a", "1b" or "2".
+        alpha: Select probability of the multiplexer's top channel.
+        cycle_time: tau of the configuration.
+        exact: Exact throughput from the Markov chain.
+        simulated: Simulated throughput estimate.
+        lp_bound: LP throughput upper bound.
+        expected: Value quoted in the paper (None when the paper gives none).
+    """
+
+    figure: str
+    alpha: float
+    cycle_time: float
+    exact: float
+    simulated: float
+    lp_bound: float
+    expected: Optional[float] = None
+
+    @property
+    def effective_cycle_time(self) -> float:
+        return self.cycle_time / self.exact if self.exact else float("inf")
+
+
+#: Throughputs quoted in Section 1.4 for Figure 1(b).
+PAPER_FIGURE1B_THROUGHPUT = {0.5: 0.491, 0.9: 0.719}
+
+
+def run_motivational(
+    alphas: Sequence[float] = (0.5, 0.9),
+    cycles: int = 20000,
+    seed: int = 1,
+) -> List[MotivationalRow]:
+    """Evaluate the three motivational configurations for each alpha."""
+    rows: List[MotivationalRow] = []
+    for alpha in alphas:
+        builders = {
+            "1a": (figure1a_rrg, None),
+            "1b": (figure1b_rrg, PAPER_FIGURE1B_THROUGHPUT.get(round(alpha, 3))),
+            "2": (figure2_rrg, figure2_expected_throughput(alpha)),
+        }
+        for figure, (builder, expected) in builders.items():
+            rrg = builder(alpha)
+            rows.append(
+                MotivationalRow(
+                    figure=figure,
+                    alpha=alpha,
+                    cycle_time=cycle_time(rrg),
+                    exact=exact_throughput(rrg).throughput,
+                    simulated=simulate_throughput(rrg, cycles=cycles, seed=seed),
+                    lp_bound=throughput_upper_bound(rrg),
+                    expected=expected,
+                )
+            )
+    return rows

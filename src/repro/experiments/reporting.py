@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Args:
+        headers: Column titles.
+        rows: Row values; floats are formatted with ``float_format``, other
+            values with ``str``.
+        float_format: Format string applied to float cells.
+
+    Returns:
+        The formatted table, ending with a newline.
+    """
+    rendered: List[List[str]] = [list(map(str, headers))]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [0] * len(rendered[0])
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    lines = []
+    for index, cells in enumerate(rendered):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+    return "\n".join(lines) + "\n"

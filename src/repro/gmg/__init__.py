@@ -1,0 +1,37 @@
+"""Guarded marked graphs (GMG) and their timed extension (TGMG).
+
+This subpackage implements the performance-analysis substrate of the paper
+(Section 3), based on Julvez, Cortadella and Kishinevsky's model of concurrent
+systems with early evaluation:
+
+* :mod:`repro.gmg.graph` — the TGMG data model (Definitions 3.1-3.4),
+* :mod:`repro.gmg.build` — Procedures 1 and 2, which translate an RRG (or a
+  retiming-and-recycling configuration) into an equivalent TGMG,
+* :mod:`repro.gmg.simulation` — synchronous, cycle-accurate stochastic
+  simulation of a TGMG to estimate the actual throughput,
+* :mod:`repro.gmg.markov` — exact throughput via the reachable-marking Markov
+  chain (small systems only; used for the motivational example),
+* :mod:`repro.gmg.lp_bound` — the LP throughput upper bound (problem (4)).
+"""
+
+from repro.gmg.graph import TGMG, TGMGEdge, TGMGNode, GMGError
+from repro.gmg.build import TGMGTemplate, build_template, build_tgmg
+from repro.gmg.simulation import SimulationResult, simulate_throughput, simulate_tgmg
+from repro.gmg.markov import MarkovResult, exact_throughput
+from repro.gmg.lp_bound import throughput_upper_bound
+
+__all__ = [
+    "TGMG",
+    "TGMGEdge",
+    "TGMGNode",
+    "GMGError",
+    "TGMGTemplate",
+    "build_template",
+    "build_tgmg",
+    "SimulationResult",
+    "simulate_throughput",
+    "simulate_tgmg",
+    "MarkovResult",
+    "exact_throughput",
+    "throughput_upper_bound",
+]

@@ -1,0 +1,186 @@
+"""Timed guarded marked graph (TGMG) data model.
+
+A guarded marked graph (Definition 3.1) is a marked graph whose nodes are
+partitioned into simple nodes (one guard covering all input edges) and early
+evaluation nodes (one guard per input edge).  The timed extension
+(Definition 3.3) attaches a non-negative delay to every node and a selection
+probability to every guard of an early-evaluation node.
+
+Initial markings may be negative: a negative marking is an anti-token debt
+created when an early-evaluation node fires without waiting for that input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+class GMGError(Exception):
+    """Raised when a guarded marked graph is malformed."""
+
+
+@dataclass
+class TGMGNode:
+    """A transition of the timed guarded marked graph.
+
+    Attributes:
+        name: Unique identifier.
+        delay: Firing delay delta(n) >= 0 (integer delays model elastic-buffer
+            pipelines; the refinement node of Procedure 2 has delay 1).
+        early: True when the node evaluates early (one guard per input edge).
+    """
+
+    name: str
+    delay: float = 0.0
+    early: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise GMGError(f"node {self.name!r} has negative delay {self.delay}")
+
+
+@dataclass
+class TGMGEdge:
+    """An edge (place) of the TGMG.
+
+    Attributes:
+        index: Unique integer identifier within the TGMG.
+        src: Producer node name.
+        dst: Consumer node name.
+        marking: Initial marking m0 (may be negative).
+        probability: Guard-selection probability, set only on the input edges
+            of early-evaluation nodes.
+    """
+
+    index: int
+    src: str
+    dst: str
+    marking: int = 0
+    probability: Optional[float] = None
+
+
+class TGMG:
+    """A timed guarded marked graph."""
+
+    def __init__(self, name: str = "tgmg") -> None:
+        self.name = name
+        self._nodes: Dict[str, TGMGNode] = {}
+        self._edges: List[TGMGEdge] = []
+        self._in: Dict[str, List[int]] = {}
+        self._out: Dict[str, List[int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, name: str, delay: float = 0.0, early: bool = False) -> TGMGNode:
+        """Add a transition; raises on duplicate names."""
+        if name in self._nodes:
+            raise GMGError(f"duplicate node name {name!r}")
+        node = TGMGNode(name=name, delay=float(delay), early=bool(early))
+        self._nodes[name] = node
+        self._in[name] = []
+        self._out[name] = []
+        return node
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        marking: int = 0,
+        probability: Optional[float] = None,
+    ) -> TGMGEdge:
+        """Add an edge (place) from ``src`` to ``dst`` with an initial marking."""
+        if src not in self._nodes:
+            raise GMGError(f"unknown source node {src!r}")
+        if dst not in self._nodes:
+            raise GMGError(f"unknown destination node {dst!r}")
+        edge = TGMGEdge(
+            index=len(self._edges),
+            src=src,
+            dst=dst,
+            marking=int(marking),
+            probability=probability,
+        )
+        self._edges.append(edge)
+        self._out[src].append(edge.index)
+        self._in[dst].append(edge.index)
+        return edge
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[TGMGNode]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[TGMGEdge]:
+        return list(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node(self, name: str) -> TGMGNode:
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise GMGError(f"unknown node {name!r}") from exc
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def edge(self, index: int) -> TGMGEdge:
+        return self._edges[index]
+
+    def in_edges(self, name: str) -> List[TGMGEdge]:
+        """Input edges of a node."""
+        return [self._edges[i] for i in self._in[name]]
+
+    def out_edges(self, name: str) -> List[TGMGEdge]:
+        """Output edges of a node."""
+        return [self._edges[i] for i in self._out[name]]
+
+    @property
+    def early_nodes(self) -> List[TGMGNode]:
+        return [n for n in self._nodes.values() if n.early]
+
+    @property
+    def simple_nodes(self) -> List[TGMGNode]:
+        return [n for n in self._nodes.values() if not n.early]
+
+    def marking_vector(self) -> Dict[int, int]:
+        """Initial markings keyed by edge index."""
+        return {e.index: e.marking for e in self._edges}
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check guard probabilities and basic well-formedness."""
+        for node in self._nodes.values():
+            incoming = self.in_edges(node.name)
+            if node.early:
+                if len(incoming) < 2:
+                    raise GMGError(
+                        f"early-evaluation node {node.name!r} needs at least two inputs"
+                    )
+                if any(e.probability is None for e in incoming):
+                    raise GMGError(
+                        f"early-evaluation node {node.name!r} has guards without "
+                        "probabilities"
+                    )
+                total = sum(e.probability for e in incoming)
+                if abs(total - 1.0) > 1e-6:
+                    raise GMGError(
+                        f"guard probabilities of {node.name!r} sum to {total}, "
+                        "expected 1.0"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"TGMG({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"early={len(self.early_nodes)})"
+        )

@@ -1,0 +1,174 @@
+"""Best-first branch and bound on top of the pure simplex solver.
+
+Used by :class:`repro.lp.pure_backend.PureBackend` to solve the MILPs of the
+retiming-and-recycling formulations when scipy/HiGHS is not available, and by
+the test-suite to cross-check the scipy backend on small instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.lp.simplex import SimplexResult, SimplexSolver
+from repro.lp.solution import SolveStatus
+
+_INTEGRALITY_TOL = 1e-6
+
+
+@dataclass
+class _Node:
+    """A branch-and-bound node: the LP relaxation with tightened bounds."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    depth: int
+
+
+@dataclass
+class MilpResult:
+    """Outcome of a branch-and-bound solve."""
+
+    status: SolveStatus
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+    nodes_explored: int = 0
+
+
+class BranchAndBoundSolver:
+    """Minimise ``c @ x`` subject to linear constraints with integer variables.
+
+    The search is best-first on the relaxation bound.  Branching selects the
+    integer variable whose fractional part is closest to 0.5 (most-fractional
+    rule), which works well on the small retiming models this repository
+    produces.
+    """
+
+    def __init__(
+        self,
+        max_nodes: int = 100000,
+        mip_gap: float = 1e-6,
+        time_limit: Optional[float] = None,
+        simplex: Optional[SimplexSolver] = None,
+    ) -> None:
+        self.max_nodes = max_nodes
+        self.mip_gap = mip_gap
+        self.time_limit = time_limit
+        self.simplex = simplex or SimplexSolver()
+
+    def solve(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        integer_mask: np.ndarray,
+    ) -> MilpResult:
+        """Solve the MILP; arguments match :class:`StandardForm` fields."""
+        c = np.asarray(c, dtype=float)
+        integer_mask = np.asarray(integer_mask, dtype=bool)
+        start = time.monotonic()
+
+        def relax(node: _Node) -> SimplexResult:
+            return self.simplex.solve(
+                c, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper
+            )
+
+        root = _Node(np.array(lower, dtype=float), np.array(upper, dtype=float), 0)
+        root_result = relax(root)
+        if root_result.status is SolveStatus.INFEASIBLE:
+            return MilpResult(SolveStatus.INFEASIBLE, None, None, 1)
+        if root_result.status is SolveStatus.UNBOUNDED:
+            return MilpResult(SolveStatus.UNBOUNDED, None, None, 1)
+        if root_result.status is not SolveStatus.OPTIMAL:
+            return MilpResult(SolveStatus.ERROR, None, None, 1)
+
+        counter = itertools.count()
+        heap = [(root_result.objective, next(counter), root, root_result)]
+        best_x: Optional[np.ndarray] = None
+        best_objective = math.inf
+        nodes = 1
+
+        while heap:
+            bound, _, node, result = heapq.heappop(heap)
+            if bound >= best_objective - self.mip_gap * max(1.0, abs(best_objective)):
+                continue
+            if nodes >= self.max_nodes:
+                break
+            if self.time_limit is not None and time.monotonic() - start > self.time_limit:
+                break
+
+            x = result.x
+            fractional = self._most_fractional(x, integer_mask)
+            if fractional is None:
+                # Integer feasible point.
+                if result.objective < best_objective - 1e-12:
+                    best_objective = result.objective
+                    best_x = self._rounded(x, integer_mask)
+                continue
+
+            index, value = fractional
+            floor_value = math.floor(value)
+            for branch in ("down", "up"):
+                child_lower = node.lower.copy()
+                child_upper = node.upper.copy()
+                if branch == "down":
+                    child_upper[index] = min(child_upper[index], floor_value)
+                else:
+                    child_lower[index] = max(child_lower[index], floor_value + 1)
+                if child_lower[index] > child_upper[index] + 1e-12:
+                    continue
+                child = _Node(child_lower, child_upper, node.depth + 1)
+                child_result = relax(child)
+                nodes += 1
+                if child_result.status is not SolveStatus.OPTIMAL:
+                    continue
+                if child_result.objective >= best_objective - 1e-12:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (child_result.objective, next(counter), child, child_result),
+                )
+
+        if best_x is None:
+            # Exhausted the tree without an integer point; if we stopped early
+            # report an error, otherwise the instance is integer-infeasible.
+            if nodes >= self.max_nodes or (
+                self.time_limit is not None
+                and time.monotonic() - start > self.time_limit
+            ):
+                return MilpResult(SolveStatus.ERROR, None, None, nodes)
+            return MilpResult(SolveStatus.INFEASIBLE, None, None, nodes)
+        return MilpResult(SolveStatus.OPTIMAL, best_x, best_objective, nodes)
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integer_mask: np.ndarray):
+        best_index = None
+        best_score = -1.0
+        for i in np.nonzero(integer_mask)[0]:
+            value = x[i]
+            frac = abs(value - round(value))
+            if frac <= _INTEGRALITY_TOL:
+                continue
+            score = min(value - math.floor(value), math.ceil(value) - value)
+            if score > best_score:
+                best_score = score
+                best_index = int(i)
+        if best_index is None:
+            return None
+        return best_index, float(x[best_index])
+
+    @staticmethod
+    def _rounded(x: np.ndarray, integer_mask: np.ndarray) -> np.ndarray:
+        out = np.array(x, dtype=float)
+        out[integer_mask] = np.round(out[integer_mask])
+        return out

@@ -1,0 +1,87 @@
+"""Linear constraints for the LP/MILP modelling layer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.lp.expression import LinExpr, Variable
+
+
+class ConstraintSense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0``.
+
+    Internally every constraint is stored in homogeneous form: an affine
+    expression compared against zero.  The more familiar ``lhs <= rhs`` view
+    is recovered through :attr:`lhs` (variable terms) and :attr:`rhs`
+    (negated constant).
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: ConstraintSense, name: str = "") -> None:
+        if not isinstance(expr, LinExpr):
+            expr = LinExpr.from_value(expr)
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def lhs(self) -> LinExpr:
+        """Variable part of the constraint (constant removed)."""
+        return LinExpr(self.expr.terms, 0.0)
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side constant of the ``lhs sense rhs`` view."""
+        return -self.expr.constant
+
+    def with_name(self, name: str) -> "Constraint":
+        """Return the same constraint labelled with ``name``."""
+        return Constraint(self.expr, self.sense, name)
+
+    def is_trivially_feasible(self) -> bool:
+        """True if the constraint has no variables and already holds."""
+        if self.expr.terms:
+            return False
+        value = self.expr.constant
+        if self.sense is ConstraintSense.LE:
+            return value <= 1e-12
+        if self.sense is ConstraintSense.GE:
+            return value >= -1e-12
+        return abs(value) <= 1e-12
+
+    def is_trivially_infeasible(self) -> bool:
+        """True if the constraint has no variables and cannot hold."""
+        return not self.expr.terms and not self.is_trivially_feasible()
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """Return how much the constraint is violated under ``assignment``.
+
+        A non-positive value (within solver tolerance) means the constraint is
+        satisfied.
+        """
+        value = self.expr.evaluate(assignment)
+        if self.sense is ConstraintSense.LE:
+            return value
+        if self.sense is ConstraintSense.GE:
+            return -value
+        return abs(value)
+
+    def is_satisfied(
+        self, assignment: Mapping[Variable, float], tolerance: float = 1e-6
+    ) -> bool:
+        """Check the constraint under ``assignment`` with a tolerance."""
+        return self.violation(assignment) <= tolerance
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Constraint({self.lhs!r} {self.sense.value} {self.rhs:g}{label})"

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the LP/MILP substrate."""
+
+
+class LPError(Exception):
+    """Base class for all errors raised by :mod:`repro.lp`."""
+
+
+class ModelError(LPError):
+    """Raised when a model is built incorrectly.
+
+    Examples: adding a variable that belongs to another model, constraining
+    an expression with no variables, or requesting the value of a variable
+    that is not part of the solved model.
+    """
+
+
+class SolverError(LPError):
+    """Raised when a backend fails for a reason other than infeasibility."""
+
+
+class InfeasibleError(LPError):
+    """Raised by convenience APIs when a model is proven infeasible."""
+
+
+class UnboundedError(LPError):
+    """Raised by convenience APIs when a model is proven unbounded."""

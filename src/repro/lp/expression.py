@@ -1,0 +1,315 @@
+"""Variables and affine expressions for the LP/MILP modelling layer.
+
+A :class:`Variable` is created through :meth:`repro.lp.model.Model.add_var`.
+Arithmetic on variables produces :class:`LinExpr` objects (affine expressions
+``sum(coeff_i * var_i) + constant``), and comparisons (``<=``, ``>=``, ``==``)
+on expressions produce :class:`repro.lp.constraint.Constraint` objects that
+can be added to a model.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, float]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "VarType"]) -> "VarType":
+        """Accept either a :class:`VarType` or its string name/value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            normalized = value.strip().lower()
+            aliases = {
+                "c": cls.CONTINUOUS,
+                "continuous": cls.CONTINUOUS,
+                "real": cls.CONTINUOUS,
+                "i": cls.INTEGER,
+                "int": cls.INTEGER,
+                "integer": cls.INTEGER,
+                "b": cls.BINARY,
+                "bin": cls.BINARY,
+                "binary": cls.BINARY,
+            }
+            if normalized in aliases:
+                return aliases[normalized]
+        raise ValueError(f"unknown variable type: {value!r}")
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are hashable by identity and ordered by their creation index
+    inside their owning model, which keeps compiled matrices deterministic.
+
+    Attributes:
+        name: Human-readable unique name within the model.
+        lb: Lower bound (``-inf`` allowed).
+        ub: Upper bound (``+inf`` allowed).
+        vtype: Variable domain (continuous / integer / binary).
+        index: Column index assigned by the owning model.
+    """
+
+    __slots__ = ("name", "lb", "ub", "vtype", "index", "_model_id")
+
+    def __init__(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: Union[str, VarType] = VarType.CONTINUOUS,
+        index: int = -1,
+        model_id: int = 0,
+    ) -> None:
+        self.name = name
+        self.lb = -math.inf if lb is None else float(lb)
+        self.ub = math.inf if ub is None else float(ub)
+        self.vtype = VarType.coerce(vtype)
+        if self.vtype is VarType.BINARY:
+            self.lb = max(self.lb, 0.0)
+            self.ub = min(self.ub, 1.0)
+        if self.lb > self.ub:
+            raise ValueError(
+                f"variable {name!r} has empty domain [{self.lb}, {self.ub}]"
+            )
+        self.index = index
+        self._model_id = model_id
+
+    @property
+    def is_integer(self) -> bool:
+        """True for integer and binary variables."""
+        return self.vtype in (VarType.INTEGER, VarType.BINARY)
+
+    def to_expr(self) -> "LinExpr":
+        """Return this variable as a one-term affine expression."""
+        return LinExpr({self: 1.0}, 0.0)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other):
+        return self.to_expr() + other
+
+    def __radd__(self, other):
+        return self.to_expr() + other
+
+    def __sub__(self, other):
+        return self.to_expr() - other
+
+    def __rsub__(self, other):
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other):
+        return self.to_expr() * other
+
+    def __rmul__(self, other):
+        return self.to_expr() * other
+
+    def __truediv__(self, other):
+        return self.to_expr() / other
+
+    def __neg__(self):
+        return -self.to_expr()
+
+    def __pos__(self):
+        return self.to_expr()
+
+    # -- comparisons produce constraints ---------------------------------
+
+    def __le__(self, other):
+        return self.to_expr() <= other
+
+    def __ge__(self, other):
+        return self.to_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Variable):
+            # Variables are dict/set keys throughout the modelling layer, so
+            # `==` between two Variable objects must stay a plain identity
+            # check.  Build equality constraints between variables with
+            # `x - y == 0` (or via LinExpr) instead.
+            return other is self
+        return self.to_expr() == other
+
+    def __ne__(self, other):  # type: ignore[override]
+        if isinstance(other, Variable):
+            return other is not self
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff * var) + constant``.
+
+    Instances are immutable from the caller's point of view: every arithmetic
+    operation returns a new expression.  Coefficients exactly equal to zero
+    are dropped so expressions stay sparse.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Mapping[Variable, Number] | None = None,
+        constant: Number = 0.0,
+    ) -> None:
+        clean: Dict[Variable, float] = {}
+        if terms:
+            for var, coeff in terms.items():
+                if not isinstance(var, Variable):
+                    raise TypeError(f"expected Variable, got {type(var).__name__}")
+                coeff = float(coeff)
+                if coeff != 0.0:
+                    clean[var] = clean.get(var, 0.0) + coeff
+        self.terms: Dict[Variable, float] = clean
+        self.constant = float(constant)
+
+    # -- construction helpers --------------------------------------------
+
+    @staticmethod
+    def from_value(value) -> "LinExpr":
+        """Coerce a number, Variable or LinExpr into a LinExpr."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise TypeError(f"cannot build a linear expression from {type(value).__name__}")
+
+    @staticmethod
+    def sum(values: Iterable) -> "LinExpr":
+        """Sum an iterable of numbers, variables and expressions."""
+        total = LinExpr()
+        for value in values:
+            total = total + value
+        return total
+
+    @staticmethod
+    def dot(coefficients: Iterable[Number], variables: Iterable[Variable]) -> "LinExpr":
+        """Return the inner product of a coefficient list and a variable list."""
+        coeffs = list(coefficients)
+        varlist = list(variables)
+        if len(coeffs) != len(varlist):
+            raise ValueError("dot() requires equally long coefficient/variable lists")
+        terms: Dict[Variable, float] = {}
+        for coeff, var in zip(coeffs, varlist):
+            if coeff:
+                terms[var] = terms.get(var, 0.0) + float(coeff)
+        return LinExpr(terms, 0.0)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """Variables with a non-zero coefficient, in insertion order."""
+        return tuple(self.terms.keys())
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` (0.0 if absent)."""
+        return self.terms.get(var, 0.0)
+
+    def is_constant(self) -> bool:
+        """True when the expression has no variable terms."""
+        return not self.terms
+
+    def evaluate(self, assignment: Mapping[Variable, Number]) -> float:
+        """Evaluate the expression under a variable assignment.
+
+        Raises:
+            KeyError: if a variable of the expression is missing from
+                ``assignment``.
+        """
+        value = self.constant
+        for var, coeff in self.terms.items():
+            value += coeff * float(assignment[var])
+        return value
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _combined(self, other, sign: float) -> "LinExpr":
+        other = LinExpr.from_value(other)
+        terms = dict(self.terms)
+        for var, coeff in other.terms.items():
+            terms[var] = terms.get(var, 0.0) + sign * coeff
+        return LinExpr(terms, self.constant + sign * other.constant)
+
+    def __add__(self, other):
+        return self._combined(other, 1.0)
+
+    def __radd__(self, other):
+        return self._combined(other, 1.0)
+
+    def __sub__(self, other):
+        return self._combined(other, -1.0)
+
+    def __rsub__(self, other):
+        return LinExpr.from_value(other)._combined(self, -1.0)
+
+    def __mul__(self, other):
+        if isinstance(other, (Variable, LinExpr)):
+            raise TypeError("products of variables are not linear")
+        factor = float(other)
+        return LinExpr(
+            {var: coeff * factor for var, coeff in self.terms.items()},
+            self.constant * factor,
+        )
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        if isinstance(other, (Variable, LinExpr)):
+            raise TypeError("division by a variable is not linear")
+        return self.__mul__(1.0 / float(other))
+
+    def __neg__(self):
+        return self.__mul__(-1.0)
+
+    def __pos__(self):
+        return self
+
+    # -- comparisons produce constraints -----------------------------------
+
+    def __le__(self, other):
+        from repro.lp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - other, ConstraintSense.LE)
+
+    def __ge__(self, other):
+        from repro.lp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - other, ConstraintSense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.lp.constraint import Constraint, ConstraintSense
+
+        return Constraint(self - other, ConstraintSense.EQ)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are not meant to be dict keys
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = []
+        for var, coeff in self.terms.items():
+            parts.append(f"{coeff:+g}*{var.name}")
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"

@@ -1,0 +1,95 @@
+"""Backend wiring the pure-Python simplex and branch-and-bound solvers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.model import StandardForm
+from repro.lp.simplex import SimplexSolver
+from repro.lp.solution import Solution, SolveStatus
+
+
+class PureBackend:
+    """Solve compiled models without scipy.
+
+    LPs go straight to :class:`SimplexSolver`; models with integer variables
+    go through :class:`BranchAndBoundSolver`.
+    """
+
+    name = "pure-python"
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        mip_gap: float = 1e-6,
+        max_nodes: int = 100000,
+    ) -> None:
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+        self.max_nodes = max_nodes
+
+    def solve(self, form: StandardForm) -> Solution:
+        """Solve a compiled :class:`StandardForm` and return a Solution."""
+        if form.num_variables == 0:
+            import numpy as np
+
+            infeasible = form.b_ub.size > 0 and bool(np.any(form.b_ub < -1e-12))
+            infeasible = infeasible or (
+                form.b_eq.size > 0 and bool(np.any(np.abs(form.b_eq) > 1e-12))
+            )
+            if infeasible:
+                return Solution(SolveStatus.INFEASIBLE, backend=self.name)
+            objective = -form.c0 if form.maximize else form.c0
+            return Solution(
+                SolveStatus.OPTIMAL, objective=objective, values={}, backend=self.name
+            )
+
+        if form.has_integers:
+            solver = BranchAndBoundSolver(
+                max_nodes=self.max_nodes,
+                mip_gap=self.mip_gap,
+                time_limit=self.time_limit,
+            )
+            result = solver.solve(
+                form.c,
+                form.a_ub,
+                form.b_ub,
+                form.a_eq,
+                form.b_eq,
+                form.lower,
+                form.upper,
+                form.integer_mask,
+            )
+            x = result.x
+            objective = result.objective
+            iterations = result.nodes_explored
+        else:
+            simplex = SimplexSolver()
+            lp_result = simplex.solve(
+                form.c,
+                form.a_ub,
+                form.b_ub,
+                form.a_eq,
+                form.b_eq,
+                form.lower,
+                form.upper,
+            )
+            result = lp_result
+            x = lp_result.x
+            objective = lp_result.objective
+            iterations = lp_result.iterations
+
+        if result.status is not SolveStatus.OPTIMAL or x is None:
+            return Solution(result.status, backend=self.name, iterations=iterations)
+
+        values = {var: float(x[i]) for i, var in enumerate(form.variables)}
+        raw = float(objective) + form.c0
+        signed = -raw if form.maximize else raw
+        return Solution(
+            SolveStatus.OPTIMAL,
+            objective=signed,
+            values=values,
+            backend=self.name,
+            iterations=iterations,
+        )

@@ -1,0 +1,360 @@
+"""Pure-Python (numpy) two-phase dense simplex solver.
+
+This is the LP engine of the fallback backend.  It is intentionally simple —
+a dense tableau with Bland's anti-cycling rule — because the retiming and
+recycling MILPs in this repository are small (a few hundred variables) and the
+scipy/HiGHS backend is preferred whenever available.  The pure solver exists
+so the library keeps working without scipy and so tests can cross-check the
+two implementations against each other.
+
+The solver handles the same general form as the scipy backend::
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lb <= x <= ub     (entries may be +-inf)
+
+Internally, variables are shifted/split so that every simplex variable is
+non-negative, finite upper bounds become extra rows, and inequality rows get
+slack variables.  Phase one minimises the sum of artificial variables; phase
+two optimises the true objective starting from the phase-one basis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.lp.solution import SolveStatus
+
+_EPS = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of a pure simplex solve.
+
+    Attributes:
+        status: OPTIMAL, INFEASIBLE, UNBOUNDED or ERROR.
+        x: Primal point in the original variable space (``None`` unless
+            optimal).
+        objective: Objective value ``c @ x`` (``None`` unless optimal).
+        iterations: Total pivot count over both phases.
+    """
+
+    status: SolveStatus
+    x: Optional[np.ndarray]
+    objective: Optional[float]
+    iterations: int = 0
+
+
+class SimplexSolver:
+    """Two-phase dense simplex with Bland's rule."""
+
+    def __init__(self, max_iterations: int = 20000, tolerance: float = 1e-9) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def solve(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> SimplexResult:
+        """Solve the LP described by the arguments (see module docstring)."""
+        c = np.asarray(c, dtype=float)
+        n = c.shape[0]
+        if n == 0:
+            return SimplexResult(SolveStatus.OPTIMAL, np.zeros(0), 0.0, 0)
+
+        transform = _VariableTransform(lower, upper)
+        c_t, extra_rows, extra_rhs = transform.apply_objective_and_bounds(c)
+
+        rows: List[np.ndarray] = []
+        rhs: List[float] = []
+        senses: List[str] = []
+        for row, b in zip(np.atleast_2d(a_ub) if a_ub.size else [], b_ub):
+            new_row, new_b = transform.apply_row(row, b)
+            rows.append(new_row)
+            rhs.append(new_b)
+            senses.append("<=")
+        for row, b in zip(np.atleast_2d(a_eq) if a_eq.size else [], b_eq):
+            new_row, new_b = transform.apply_row(row, b)
+            rows.append(new_row)
+            rhs.append(new_b)
+            senses.append("==")
+        for row, b in zip(extra_rows, extra_rhs):
+            rows.append(row)
+            rhs.append(b)
+            senses.append("<=")
+
+        tableau_result = self._two_phase(c_t, rows, rhs, senses, transform.dim)
+        if tableau_result.status is not SolveStatus.OPTIMAL:
+            return tableau_result
+        x = transform.recover(tableau_result.x)
+        return SimplexResult(
+            SolveStatus.OPTIMAL,
+            x,
+            float(c @ x),
+            tableau_result.iterations,
+        )
+
+    # -- core two-phase tableau --------------------------------------------
+
+    def _two_phase(
+        self,
+        c: np.ndarray,
+        rows: List[np.ndarray],
+        rhs: List[float],
+        senses: List[str],
+        dim: int,
+    ) -> SimplexResult:
+        m = len(rows)
+        if m == 0:
+            # No constraints: optimum is 0 unless some cost is negative, in
+            # which case the problem is unbounded below (variables are >= 0).
+            if np.any(c < -self.tolerance):
+                return SimplexResult(SolveStatus.UNBOUNDED, None, None, 0)
+            return SimplexResult(SolveStatus.OPTIMAL, np.zeros(dim), 0.0, 0)
+
+        a = np.vstack(rows).astype(float)
+        b = np.asarray(rhs, dtype=float)
+        # Normalise to non-negative right-hand sides.
+        for i in range(m):
+            if b[i] < 0:
+                a[i] = -a[i]
+                b[i] = -b[i]
+                if senses[i] == "<=":
+                    senses[i] = ">="
+                elif senses[i] == ">=":
+                    senses[i] = "<="
+
+        num_slack = sum(1 for s in senses if s in ("<=", ">="))
+        num_art = sum(1 for s in senses if s in (">=", "=="))
+        total = dim + num_slack + num_art
+
+        table = np.zeros((m, total))
+        table[:, :dim] = a
+        basis = [-1] * m
+        slack_col = dim
+        art_col = dim + num_slack
+        art_columns: List[int] = []
+        for i, sense in enumerate(senses):
+            if sense == "<=":
+                table[i, slack_col] = 1.0
+                basis[i] = slack_col
+                slack_col += 1
+            elif sense == ">=":
+                table[i, slack_col] = -1.0
+                slack_col += 1
+                table[i, art_col] = 1.0
+                basis[i] = art_col
+                art_columns.append(art_col)
+                art_col += 1
+            else:  # ==
+                table[i, art_col] = 1.0
+                basis[i] = art_col
+                art_columns.append(art_col)
+                art_col += 1
+
+        iterations = 0
+        if art_columns:
+            phase1_cost = np.zeros(total)
+            phase1_cost[art_columns] = 1.0
+            status, value, iters = self._optimize(table, b, basis, phase1_cost)
+            iterations += iters
+            if status is not SolveStatus.OPTIMAL:
+                return SimplexResult(SolveStatus.ERROR, None, None, iterations)
+            if value > 1e-6:
+                return SimplexResult(SolveStatus.INFEASIBLE, None, None, iterations)
+            self._drive_out_artificials(table, b, basis, art_columns, dim + num_slack)
+            # Rows whose artificial could not be driven out are redundant
+            # (their structural coefficients are all ~0); drop them.
+            art_set = set(art_columns)
+            keep_rows = [i for i in range(len(basis)) if basis[i] not in art_set]
+            if len(keep_rows) != len(basis):
+                table = table[keep_rows, :]
+                b = b[keep_rows]
+                basis = [basis[i] for i in keep_rows]
+
+        phase2_cost = np.zeros(total)
+        phase2_cost[:dim] = c
+        # Forbid artificial variables from re-entering the basis.
+        if art_columns:
+            keep = [j for j in range(total) if j not in set(art_columns)]
+            remap = {old: new for new, old in enumerate(keep)}
+            table = table[:, keep]
+            phase2_cost = phase2_cost[keep]
+            basis = [remap[bcol] for bcol in basis]
+            total = len(keep)
+
+        status, value, iters = self._optimize(table, b, basis, phase2_cost)
+        iterations += iters
+        if status is SolveStatus.UNBOUNDED:
+            return SimplexResult(SolveStatus.UNBOUNDED, None, None, iterations)
+        if status is not SolveStatus.OPTIMAL:
+            return SimplexResult(SolveStatus.ERROR, None, None, iterations)
+
+        x = np.zeros(total)
+        for row_index, column in enumerate(basis):
+            x[column] = b[row_index]
+        return SimplexResult(SolveStatus.OPTIMAL, x[:dim], value, iterations)
+
+    def _optimize(
+        self,
+        table: np.ndarray,
+        b: np.ndarray,
+        basis: List[int],
+        cost: np.ndarray,
+    ) -> Tuple[SolveStatus, float, int]:
+        """Run primal simplex iterations in place; returns (status, obj, iters)."""
+        m, total = table.shape
+        for iteration in range(self.max_iterations):
+            # Reduced costs: cost - cost_B @ B^-1 A, computed from the tableau
+            # (which is kept as B^-1 A throughout).
+            cost_b = cost[basis]
+            reduced = cost - cost_b @ table
+            reduced[np.abs(reduced) < self.tolerance] = 0.0
+            entering_candidates = np.nonzero(reduced < -self.tolerance)[0]
+            if entering_candidates.size == 0:
+                objective = float(cost_b @ b)
+                return SolveStatus.OPTIMAL, objective, iteration
+            entering = int(entering_candidates[0])  # Bland's rule
+
+            column = table[:, entering]
+            positive = column > self.tolerance
+            if not np.any(positive):
+                return SolveStatus.UNBOUNDED, math.inf, iteration
+            ratios = np.full(m, np.inf)
+            ratios[positive] = b[positive] / column[positive]
+            best = np.min(ratios)
+            # Bland's rule on ties: leave the row whose basic variable has the
+            # smallest column index.
+            tie_rows = np.nonzero(np.abs(ratios - best) <= self.tolerance)[0]
+            leaving = int(min(tie_rows, key=lambda r: basis[r]))
+
+            self._pivot(table, b, leaving, entering)
+            basis[leaving] = entering
+        return SolveStatus.ERROR, math.nan, self.max_iterations
+
+    @staticmethod
+    def _pivot(table: np.ndarray, b: np.ndarray, row: int, col: int) -> None:
+        pivot = table[row, col]
+        table[row] /= pivot
+        b[row] /= pivot
+        for i in range(table.shape[0]):
+            if i != row and abs(table[i, col]) > _EPS:
+                factor = table[i, col]
+                table[i] -= factor * table[row]
+                b[i] -= factor * b[row]
+                if b[i] < 0 and b[i] > -1e-11:
+                    b[i] = 0.0
+
+    def _drive_out_artificials(
+        self,
+        table: np.ndarray,
+        b: np.ndarray,
+        basis: List[int],
+        art_columns: List[int],
+        num_structural: int,
+    ) -> None:
+        """Pivot basic artificial variables out of the basis when possible."""
+        art_set = set(art_columns)
+        for row, column in enumerate(basis):
+            if column not in art_set:
+                continue
+            # The artificial is basic at value ~0; pivot on any structural
+            # column with a non-zero entry in this row.
+            candidates = np.nonzero(np.abs(table[row, :num_structural]) > 1e-7)[0]
+            if candidates.size:
+                entering = int(candidates[0])
+                self._pivot(table, b, row, entering)
+                basis[row] = entering
+            # If no candidate exists the row is redundant; the artificial stays
+            # basic at zero, which is harmless because phase two removes its
+            # column from the cost and from candidate entering columns.
+
+
+class _VariableTransform:
+    """Shift/split original variables so that simplex variables are >= 0.
+
+    * Finite lower bound ``lb``: substitute ``x = lb + y`` with ``y >= 0``.
+    * ``lb = -inf``: split ``x = y_plus - y_minus`` with both parts >= 0.
+    * Finite upper bound: emitted as an extra ``<=`` row in the transformed
+      space.
+    """
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        self.n = self.lower.shape[0]
+        self.column_of: List[int] = []
+        self.split: List[bool] = []
+        column = 0
+        for i in range(self.n):
+            self.column_of.append(column)
+            if math.isinf(self.lower[i]):
+                self.split.append(True)
+                column += 2
+            else:
+                self.split.append(False)
+                column += 1
+        self.dim = column
+
+    def apply_objective_and_bounds(
+        self, c: np.ndarray
+    ) -> Tuple[np.ndarray, List[np.ndarray], List[float]]:
+        c_t = np.zeros(self.dim)
+        extra_rows: List[np.ndarray] = []
+        extra_rhs: List[float] = []
+        for i in range(self.n):
+            col = self.column_of[i]
+            if self.split[i]:
+                c_t[col] = c[i]
+                c_t[col + 1] = -c[i]
+            else:
+                c_t[col] = c[i]
+            if math.isfinite(self.upper[i]):
+                row = np.zeros(self.dim)
+                if self.split[i]:
+                    row[col] = 1.0
+                    row[col + 1] = -1.0
+                    extra_rhs.append(self.upper[i])
+                else:
+                    row[col] = 1.0
+                    extra_rhs.append(self.upper[i] - self.lower[i])
+                extra_rows.append(row)
+        return c_t, extra_rows, extra_rhs
+
+    def apply_row(self, row: np.ndarray, b: float) -> Tuple[np.ndarray, float]:
+        new_row = np.zeros(self.dim)
+        offset = 0.0
+        for i in range(self.n):
+            coeff = row[i]
+            if coeff == 0.0:
+                continue
+            col = self.column_of[i]
+            if self.split[i]:
+                new_row[col] += coeff
+                new_row[col + 1] -= coeff
+            else:
+                new_row[col] += coeff
+                offset += coeff * self.lower[i]
+        return new_row, b - offset
+
+    def recover(self, y: np.ndarray) -> np.ndarray:
+        x = np.zeros(self.n)
+        for i in range(self.n):
+            col = self.column_of[i]
+            if self.split[i]:
+                x[i] = y[col] - y[col + 1]
+            else:
+                x[i] = self.lower[i] + y[col]
+        return x

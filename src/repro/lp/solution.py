@@ -1,0 +1,88 @@
+"""Solution objects returned by LP/MILP backends."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional
+
+from repro.lp.expression import LinExpr, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    FEASIBLE = "feasible"  # a feasible but not proven-optimal point (time limit)
+    ERROR = "error"
+
+
+class Solution:
+    """Result of solving a :class:`repro.lp.model.Model`.
+
+    Attributes:
+        status: Solve outcome.
+        objective: Objective value at the returned point (``None`` unless a
+            point is available).
+        values: Mapping from variable to its value in the returned point.
+        backend: Name of the backend that produced the solution.
+        message: Free-form diagnostic string from the backend.
+        iterations: Backend-reported iteration count (0 when unknown).
+    """
+
+    def __init__(
+        self,
+        status: SolveStatus,
+        objective: Optional[float] = None,
+        values: Optional[Mapping[Variable, float]] = None,
+        backend: str = "",
+        message: str = "",
+        iterations: int = 0,
+    ) -> None:
+        self.status = status
+        self.objective = objective
+        self.values: Dict[Variable, float] = dict(values or {})
+        self.backend = backend
+        self.message = message
+        self.iterations = iterations
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the backend proved optimality."""
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def has_point(self) -> bool:
+        """True when a (not necessarily optimal) feasible point is available."""
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE) and bool(
+            self.values
+        )
+
+    def value(self, item) -> float:
+        """Value of a variable or affine expression at the solution point.
+
+        Args:
+            item: a :class:`Variable` or :class:`LinExpr`.
+
+        Raises:
+            KeyError: when the item references a variable not in the solution.
+        """
+        if isinstance(item, Variable):
+            return self.values[item]
+        if isinstance(item, LinExpr):
+            return item.evaluate(self.values)
+        raise TypeError(f"cannot evaluate {type(item).__name__} at a solution")
+
+    def __getitem__(self, item) -> float:
+        return self.value(item)
+
+    def __contains__(self, var) -> bool:
+        return var in self.values
+
+    def __repr__(self) -> str:
+        obj = "None" if self.objective is None else f"{self.objective:.6g}"
+        return (
+            f"Solution(status={self.status.value}, objective={obj}, "
+            f"backend={self.backend!r})"
+        )

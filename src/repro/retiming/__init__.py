@@ -1,0 +1,27 @@
+"""Classical retiming baselines.
+
+* :mod:`repro.retiming.leiserson_saxe` — the textbook Leiserson-Saxe
+  min-period retiming (W/D matrices plus a Bellman-Ford feasibility check),
+  used as an independent cross-check of the MILP-based ``MIN_CYC(1)``.
+* :mod:`repro.retiming.min_delay` — min-delay retiming of an RRG, returning
+  an :class:`repro.core.configuration.RRConfiguration`.
+* :mod:`repro.retiming.late_evaluation` — the late-evaluation baseline
+  ``xi_nee`` of the experiments: the best effective cycle time achievable
+  when every node is treated as a simple (late-evaluation) node.
+"""
+
+from repro.retiming.leiserson_saxe import (
+    RetimingProblem,
+    leiserson_saxe_min_period,
+    retiming_feasible,
+)
+from repro.retiming.min_delay import min_delay_retiming
+from repro.retiming.late_evaluation import late_evaluation_baseline
+
+__all__ = [
+    "RetimingProblem",
+    "leiserson_saxe_min_period",
+    "retiming_feasible",
+    "min_delay_retiming",
+    "late_evaluation_baseline",
+]

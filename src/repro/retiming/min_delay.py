@@ -1,0 +1,69 @@
+"""Min-delay retiming of an RRG.
+
+Two interchangeable engines are provided:
+
+* ``method="classic"`` — the Leiserson-Saxe algorithm
+  (:mod:`repro.retiming.leiserson_saxe`);
+* ``method="milp"`` — the paper's ``MIN_CYC(1)`` program, which requires the
+  LP throughput bound to stay at 1 and therefore returns a retiming without
+  performance-degrading bubbles.
+
+Both return an :class:`repro.core.configuration.RRConfiguration` whose cycle
+time is minimal among configurations of full throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.configuration import RRConfiguration, RetimingVector
+from repro.core.milp import MilpSettings, min_cycle_time
+from repro.core.rrg import RRG
+from repro.retiming.leiserson_saxe import leiserson_saxe_min_period
+
+
+def min_delay_retiming(
+    rrg: RRG,
+    method: str = "classic",
+    settings: Optional[MilpSettings] = None,
+) -> RRConfiguration:
+    """Return a minimum-cycle-time retiming of ``rrg`` (no recycling).
+
+    Args:
+        rrg: The elastic system to retime.
+        method: "classic" (Leiserson-Saxe) or "milp" (``MIN_CYC(1)``).
+        settings: MILP settings, used only by the "milp" method.
+
+    Returns:
+        A full-throughput configuration of minimal cycle time.
+    """
+    if method == "milp":
+        outcome = min_cycle_time(rrg, x=1.0, settings=settings)
+        configuration = outcome.configuration
+        configuration.label = "min-delay-retiming(milp)"
+        return configuration
+    if method != "classic":
+        raise ValueError(f"unknown retiming method {method!r}")
+
+    _, vector = leiserson_saxe_min_period(rrg)
+    shifted_tokens = vector.shifted_tokens(rrg)
+    buffers = {
+        edge.index: edge.buffers + vector.lag(edge.dst) - vector.lag(edge.src)
+        for edge in rrg.edges
+    }
+    # Guard against bases whose buffers exceed tokens: retiming shifts both by
+    # the same amount, so R' >= R0' is preserved, but clamp at zero for safety.
+    buffers = {
+        index: max(count, shifted_tokens[index], 0) for index, count in buffers.items()
+    }
+    return RRConfiguration(
+        rrg,
+        retiming=vector,
+        buffers=buffers,
+        label="min-delay-retiming(classic)",
+    )
+
+
+def identity_configuration(rrg: RRG) -> RRConfiguration:
+    """The un-retimed configuration (used as the ``xi*`` column of Table 2)."""
+    return RRConfiguration.identity(rrg)

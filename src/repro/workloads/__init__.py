@@ -1,0 +1,43 @@
+"""Workload construction: example graphs and random benchmark generation.
+
+* :mod:`repro.workloads.examples` — the hand-built RRGs of the paper's
+  figures (the motivational example) plus a few textbook pipelines.
+* :mod:`repro.workloads.random_rrg` — the random RRG recipe of Section 5
+  (token probability 0.25, delays uniform in (0, 20], early-evaluation
+  probability 0.4).
+* :mod:`repro.workloads.iscas_like` — synthetic strongly-connected graph
+  structures matching the published node/edge counts of the ISCAS89-derived
+  benchmarks in Table 2.
+"""
+
+from repro.workloads.examples import (
+    figure1a_rrg,
+    figure1b_rrg,
+    figure2_rrg,
+    linear_pipeline,
+    ring_rrg,
+    unbalanced_fork_join,
+)
+from repro.workloads.random_rrg import RandomRRGConfig, randomize_rrg, random_rrg
+from repro.workloads.iscas_like import (
+    ISCASLikeSpec,
+    TABLE2_SPECS,
+    iscas_like_rrg,
+    table2_benchmark_suite,
+)
+
+__all__ = [
+    "figure1a_rrg",
+    "figure1b_rrg",
+    "figure2_rrg",
+    "linear_pipeline",
+    "ring_rrg",
+    "unbalanced_fork_join",
+    "RandomRRGConfig",
+    "randomize_rrg",
+    "random_rrg",
+    "ISCASLikeSpec",
+    "TABLE2_SPECS",
+    "iscas_like_rrg",
+    "table2_benchmark_suite",
+]

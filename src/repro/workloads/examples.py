@@ -1,0 +1,193 @@
+"""Hand-built example RRGs, including the paper's motivational example.
+
+The motivational example (Figures 1 and 2 of the paper) is a five-node loop:
+three unit-delay blocks ``F1, F2, F3``, a zero-delay block ``f`` that fans out
+to a multiplexer ``m`` through two parallel channels, and the multiplexer
+feeding back to ``F1``.  The multiplexer selects its top input with
+probability ``alpha``.
+
+* Figure 1(a): one token between ``m`` and ``F1``, three tokens on the top
+  ``f -> m`` channel; cycle time 3, throughput 1.
+* Figure 1(b): one retiming move plus two bubbles; cycle time 1; with early
+  evaluation the throughput is ~0.491 at alpha = 0.5 and ~0.719 at
+  alpha = 0.9.
+* Figure 2: the optimal retiming-and-recycling solution; the bottom channel
+  carries two anti-tokens and the throughput is exactly ``1 / (3 - 2 alpha)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.rrg import RRG
+
+
+def _motivational_skeleton(alpha: float, name: str) -> RRG:
+    """Nodes and edge order shared by all motivational-example variants.
+
+    Edge order (indices): 0: m->F1, 1: F1->F2, 2: F2->F3, 3: F3->f,
+    4: f->m (top, probability alpha), 5: f->m (bottom, probability 1-alpha).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie strictly between 0 and 1, got {alpha}")
+    rrg = RRG(name)
+    rrg.add_node("m", delay=0.0, early=True)
+    rrg.add_node("F1", delay=1.0)
+    rrg.add_node("F2", delay=1.0)
+    rrg.add_node("F3", delay=1.0)
+    rrg.add_node("f", delay=0.0)
+    return rrg
+
+
+def figure1a_rrg(alpha: float = 0.5, name: str = "figure1a") -> RRG:
+    """The initial elastic system of Figure 1(a): cycle time 3, throughput 1."""
+    rrg = _motivational_skeleton(alpha, name)
+    rrg.add_edge("m", "F1", tokens=1, buffers=1)
+    rrg.add_edge("F1", "F2", tokens=0, buffers=0)
+    rrg.add_edge("F2", "F3", tokens=0, buffers=0)
+    rrg.add_edge("F3", "f", tokens=0, buffers=0)
+    rrg.add_edge("f", "m", tokens=3, buffers=3, probability=alpha)
+    rrg.add_edge("f", "m", tokens=0, buffers=0, probability=1.0 - alpha)
+    rrg.validate()
+    return rrg
+
+
+def figure1b_rrg(alpha: float = 0.5, name: str = "figure1b") -> RRG:
+    """Figure 1(b): one retiming move and two bubbles; cycle time 1."""
+    rrg = _motivational_skeleton(alpha, name)
+    rrg.add_edge("m", "F1", tokens=0, buffers=0)
+    rrg.add_edge("F1", "F2", tokens=1, buffers=1)
+    rrg.add_edge("F2", "F3", tokens=0, buffers=1)
+    rrg.add_edge("F3", "f", tokens=0, buffers=0)
+    rrg.add_edge("f", "m", tokens=3, buffers=3, probability=alpha)
+    rrg.add_edge("f", "m", tokens=0, buffers=1, probability=1.0 - alpha)
+    rrg.validate()
+    return rrg
+
+
+def figure2_rrg(alpha: float = 0.5, name: str = "figure2") -> RRG:
+    """Figure 2: the optimal solution with early evaluation.
+
+    Obtained from Figure 1(a) by the retiming vector r(m) = r(F1) = -2,
+    r(F2) = -1, r(F3) = r(f) = 0 plus recycling; the bottom channel into the
+    multiplexer carries two anti-tokens and the exact throughput is
+    ``1 / (3 - 2 alpha)``.
+    """
+    rrg = _motivational_skeleton(alpha, name)
+    rrg.add_edge("m", "F1", tokens=1, buffers=1)
+    rrg.add_edge("F1", "F2", tokens=1, buffers=1)
+    rrg.add_edge("F2", "F3", tokens=1, buffers=1)
+    rrg.add_edge("F3", "f", tokens=0, buffers=0)
+    rrg.add_edge("f", "m", tokens=1, buffers=1, probability=alpha)
+    rrg.add_edge("f", "m", tokens=-2, buffers=0, probability=1.0 - alpha)
+    rrg.validate()
+    return rrg
+
+
+def figure2_expected_throughput(alpha: float) -> float:
+    """The analytical throughput of the Figure 2 configuration."""
+    return 1.0 / (3.0 - 2.0 * alpha)
+
+
+def linear_pipeline(
+    stages: int = 4,
+    delays: Optional[Sequence[float]] = None,
+    tokens_per_stage: int = 1,
+    name: str = "pipeline",
+) -> RRG:
+    """A closed linear pipeline: ``n0 -> n1 -> ... -> n_{k-1} -> n0``.
+
+    Every stage edge carries ``tokens_per_stage`` tokens (and as many buffers),
+    so the initial throughput is 1 and the cycle time equals the largest stage
+    delay when each edge holds at least one buffer.
+    """
+    if stages < 2:
+        raise ValueError("a pipeline needs at least two stages")
+    if delays is None:
+        delays = [float(i + 1) for i in range(stages)]
+    if len(delays) != stages:
+        raise ValueError("delays must have one entry per stage")
+    rrg = RRG(name)
+    for i in range(stages):
+        rrg.add_node(f"s{i}", delay=float(delays[i]))
+    for i in range(stages):
+        rrg.add_edge(
+            f"s{i}",
+            f"s{(i + 1) % stages}",
+            tokens=tokens_per_stage,
+            buffers=tokens_per_stage,
+        )
+    rrg.validate()
+    return rrg
+
+
+def ring_rrg(
+    length: int = 5,
+    total_tokens: int = 2,
+    delay: float = 1.0,
+    name: str = "ring",
+) -> RRG:
+    """A single-token-constrained ring of identical unit blocks.
+
+    The ``total_tokens`` tokens are spread as evenly as possible around the
+    ring.  The throughput of such a marked-graph ring is
+    ``total_tokens / length`` when every edge holds one buffer.
+    """
+    if length < 2:
+        raise ValueError("ring length must be at least 2")
+    if not 0 < total_tokens <= length:
+        raise ValueError("total_tokens must lie in [1, length]")
+    rrg = RRG(name)
+    for i in range(length):
+        rrg.add_node(f"n{i}", delay=delay)
+    for i in range(length):
+        tokens = 1 if i < total_tokens else 0
+        rrg.add_edge(f"n{i}", f"n{(i + 1) % length}", tokens=tokens, buffers=1)
+    rrg.validate()
+    return rrg
+
+
+def unbalanced_fork_join(
+    alpha: float = 0.8,
+    long_branch_delay: float = 8.0,
+    short_branch_delay: float = 1.0,
+    long_branch_stages: int = 4,
+    name: str = "fork-join",
+) -> RRG:
+    """A fork/join loop whose join is an early-evaluation multiplexer.
+
+    The long branch is a chain of ``long_branch_stages`` blocks that together
+    account for ``long_branch_delay``; it is selected with probability
+    ``1 - alpha``.  With early evaluation, bubbles inserted along the long
+    branch cut the cycle time while barely hurting throughput (the branch is
+    rarely waited for), which is exactly the situation where
+    retiming-and-recycling beats plain retiming.  With late evaluation the
+    same bubbles stall every token, so the optimisation gains nothing.
+    """
+    if long_branch_stages < 1:
+        raise ValueError("the long branch needs at least one stage")
+    rrg = RRG(name)
+    rrg.add_node("src", delay=1.0)
+    stage_delay = float(long_branch_delay) / long_branch_stages
+    for i in range(long_branch_stages):
+        rrg.add_node(f"long{i}", delay=stage_delay)
+    rrg.add_node("short", delay=float(short_branch_delay))
+    rrg.add_node("join", delay=0.0, early=True)
+    rrg.add_node("sink", delay=1.0)
+
+    rrg.add_edge("src", "long0", tokens=0, buffers=0)
+    for i in range(long_branch_stages - 1):
+        rrg.add_edge(f"long{i}", f"long{i + 1}", tokens=0, buffers=0)
+    rrg.add_edge("src", "short", tokens=0, buffers=0)
+    rrg.add_edge(
+        f"long{long_branch_stages - 1}",
+        "join",
+        tokens=0,
+        buffers=0,
+        probability=1.0 - alpha,
+    )
+    rrg.add_edge("short", "join", tokens=0, buffers=0, probability=alpha)
+    rrg.add_edge("join", "sink", tokens=0, buffers=0)
+    rrg.add_edge("sink", "src", tokens=1, buffers=1)
+    rrg.validate()
+    return rrg

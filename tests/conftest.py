@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.rrg import RRG
+from repro.workloads.examples import (
+    figure1a_rrg,
+    figure1b_rrg,
+    figure2_rrg,
+    linear_pipeline,
+    ring_rrg,
+    unbalanced_fork_join,
+)
+
+
+@pytest.fixture
+def figure1a():
+    """The paper's Figure 1(a) RRG with alpha = 0.5."""
+    return figure1a_rrg(0.5)
+
+
+@pytest.fixture
+def figure1b():
+    """The paper's Figure 1(b) RRG with alpha = 0.5."""
+    return figure1b_rrg(0.5)
+
+
+@pytest.fixture
+def figure2():
+    """The paper's Figure 2 RRG with alpha = 0.5."""
+    return figure2_rrg(0.5)
+
+
+@pytest.fixture
+def figure1a_hot():
+    """Figure 1(a) with alpha = 0.9 (the paper's headline operating point)."""
+    return figure1a_rrg(0.9)
+
+
+@pytest.fixture
+def pipeline():
+    """A four-stage closed pipeline without early evaluation."""
+    return linear_pipeline(stages=4, delays=[2.0, 3.0, 5.0, 1.0])
+
+
+@pytest.fixture
+def ring():
+    """A five-node ring with two tokens."""
+    return ring_rrg(length=5, total_tokens=2)
+
+
+@pytest.fixture
+def fork_join():
+    """An unbalanced fork/join loop with an early-evaluation join."""
+    return unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0)
+
+
+@pytest.fixture
+def two_node_loop():
+    """A minimal two-node loop used by many unit tests."""
+    rrg = RRG("two-node")
+    rrg.add_node("a", delay=2.0)
+    rrg.add_node("b", delay=3.0)
+    rrg.add_edge("a", "b", tokens=1, buffers=1)
+    rrg.add_edge("b", "a", tokens=0, buffers=0)
+    rrg.validate()
+    return rrg

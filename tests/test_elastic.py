@@ -1,0 +1,199 @@
+"""Tests for the structural elastic-circuit substrate."""
+
+import random
+
+import pytest
+
+from repro.core.configuration import RRConfiguration
+from repro.elastic.buffer import ElasticBuffer, ElasticBufferChain
+from repro.elastic.channel import Channel
+from repro.elastic.circuit import ElasticCircuit
+from repro.elastic.controller import EarlyJoinController, JoinController
+from repro.elastic.simulator import ElasticSimulator, simulate_elastic_throughput
+from repro.elastic.verilog import generate_verilog
+from repro.gmg.simulation import simulate_throughput
+from repro.workloads.examples import (
+    figure1b_rrg,
+    figure2_expected_throughput,
+    figure2_rrg,
+    ring_rrg,
+)
+
+
+class TestChannel:
+    def test_initialize_positive_and_negative(self):
+        channel = Channel(0, "a", "b")
+        channel.initialize(3)
+        assert channel.ready == 3 and channel.antitokens == 0
+        channel.initialize(-2)
+        assert channel.ready == 0 and channel.antitokens == 2
+
+    def test_deliver_cancels_antitokens_first(self):
+        channel = Channel(0, "a", "b")
+        channel.initialize(-2)
+        channel.deliver()
+        assert channel.antitokens == 1 and channel.ready == 0
+        channel.deliver(2)
+        assert channel.antitokens == 0 and channel.ready == 1
+
+    def test_consume_requires_token(self):
+        channel = Channel(0, "a", "b")
+        with pytest.raises(RuntimeError):
+            channel.consume()
+        channel.deliver()
+        channel.consume()
+        assert channel.ready == 0
+
+    def test_absorb_antitoken(self):
+        channel = Channel(0, "a", "b")
+        channel.deliver()
+        channel.absorb_antitoken()
+        assert channel.ready == 0 and channel.antitokens == 0
+        channel.absorb_antitoken()
+        assert channel.antitokens == 1
+
+    def test_marking_and_valid(self):
+        channel = Channel(0, "a", "b")
+        channel.initialize(2)
+        assert channel.valid and channel.marking == 2
+
+
+class TestBufferChain:
+    def test_latency_matches_length(self):
+        chain = ElasticBufferChain.of_length(3)
+        outputs = []
+        outputs.append(chain.advance(True))
+        for _ in range(5):
+            outputs.append(chain.advance(False))
+        assert outputs.index(True) == 2  # visible on the third clock edge
+        assert sum(outputs) == 1
+
+    def test_zero_length_is_combinational(self):
+        chain = ElasticBufferChain.of_length(0)
+        assert chain.advance(True) is True
+        assert chain.advance(False) is False
+
+    def test_back_to_back_tokens(self):
+        chain = ElasticBufferChain.of_length(2)
+        emitted = [chain.advance(True), chain.advance(True), chain.advance(False)]
+        assert emitted == [False, True, True]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ElasticBufferChain.of_length(-1)
+
+    def test_occupancy_and_preload(self):
+        chain = ElasticBufferChain.of_length(2)
+        overflow = chain.preload(3)
+        assert overflow == 1
+        assert chain.occupancy == 2
+
+    def test_single_buffer_shift(self):
+        buffer = ElasticBuffer()
+        assert buffer.shift(True) is False
+        assert buffer.shift(False) is True
+
+
+class TestControllers:
+    def test_join_requires_all_inputs(self):
+        a, b = Channel(0, "x", "j"), Channel(1, "y", "j")
+        join = JoinController("j", [a, b])
+        rng = random.Random(0)
+        a.deliver()
+        assert not join.fire(rng)
+        b.deliver()
+        assert join.fire(rng)
+        assert join.firings == 1
+
+    def test_early_join_fires_on_selected_input_only(self):
+        a, b = Channel(0, "x", "j"), Channel(1, "y", "j")
+        early = EarlyJoinController("j", [a, b], [1.0 - 1e-9, 1e-9])
+        rng = random.Random(0)
+        a.deliver()
+        assert early.fire(rng)
+        # The unselected channel received an anti-token.
+        assert b.antitokens == 1
+        assert early.pending_selection is None
+
+    def test_early_join_holds_selection_while_stalled(self):
+        a, b = Channel(0, "x", "j"), Channel(1, "y", "j")
+        early = EarlyJoinController("j", [a, b], [1.0 - 1e-9, 1e-9])
+        rng = random.Random(0)
+        assert not early.fire(rng)  # selected the (empty) first channel
+        held = early.pending_selection
+        assert held == 0
+        assert not early.fire(rng)
+        assert early.pending_selection == held
+
+    def test_early_join_probability_validation(self):
+        a, b = Channel(0, "x", "j"), Channel(1, "y", "j")
+        with pytest.raises(ValueError):
+            EarlyJoinController("j", [a, b], [0.4, 0.4])
+        with pytest.raises(ValueError):
+            EarlyJoinController("j", [a, b], [1.0])
+
+
+class TestCircuitAndSimulator:
+    def test_circuit_elaboration_counts(self, figure1b):
+        circuit = ElasticCircuit.from_source(figure1b)
+        assert set(circuit.node_names) == {n.name for n in figure1b.nodes}
+        assert circuit.num_buffers == sum(figure1b.buffer_vector().values())
+
+    def test_stored_tokens_are_conserved_on_marked_graph(self):
+        ring = ring_rrg(length=5, total_tokens=2)
+        simulator = ElasticSimulator(ring, seed=0)
+        initial = simulator.circuit.stored_tokens()
+        for _ in range(50):
+            simulator.step()
+        assert simulator.circuit.stored_tokens() == initial
+
+    def test_matches_gmg_simulator_on_examples(self):
+        for rrg in (figure1b_rrg(0.5), figure1b_rrg(0.9), figure2_rrg(0.7)):
+            elastic = simulate_elastic_throughput(rrg, cycles=15000, seed=5)
+            gmg = simulate_throughput(rrg, cycles=15000, seed=5)
+            assert elastic == pytest.approx(gmg, abs=0.02)
+
+    def test_matches_analytic_throughput_of_figure2(self):
+        value = simulate_elastic_throughput(figure2_rrg(0.8), cycles=20000, seed=9)
+        assert value == pytest.approx(figure2_expected_throughput(0.8), abs=0.02)
+
+    def test_accepts_configuration_input(self, figure1b):
+        config = RRConfiguration.identity(figure1b)
+        value = simulate_elastic_throughput(config, cycles=3000, seed=1)
+        assert 0.3 < value < 0.7
+
+    def test_invalid_cycles_rejected(self, figure1b):
+        simulator = ElasticSimulator(figure1b, seed=0)
+        with pytest.raises(ValueError):
+            simulator.run(cycles=0)
+
+
+class TestVerilog:
+    def test_contains_all_controller_modules(self, figure1b):
+        text = generate_verilog(figure1b)
+        for module in ("elastic_buffer", "lazy_join", "early_join", "eager_fork"):
+            assert f"module {module}" in text
+
+    def test_top_level_instantiates_channels_and_joins(self, figure1b):
+        text = generate_verilog(figure1b, top_name="fig1b_top")
+        assert "module fig1b_top" in text
+        assert text.count("elastic_buffer eb_") == sum(
+            figure1b.buffer_vector().values()
+        )
+        assert "early_join" in text and "join_m" in text
+
+    def test_accepts_configuration(self, figure2):
+        config = RRConfiguration.identity(figure2)
+        text = generate_verilog(config)
+        assert "tokens=-2" in text
+
+    def test_names_are_sanitised(self):
+        from repro.core.rrg import RRG
+
+        rrg = RRG("weird")
+        rrg.add_node("1bad-name$", delay=1.0)
+        rrg.add_node("ok", delay=1.0)
+        rrg.add_edge("1bad-name$", "ok", tokens=1)
+        rrg.add_edge("ok", "1bad-name$", tokens=1)
+        text = generate_verilog(rrg)
+        assert "join_n_1bad_name_" in text

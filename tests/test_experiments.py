@@ -1,0 +1,118 @@
+"""Tests for the experiment drivers (kept small so the suite stays fast)."""
+
+import math
+
+import pytest
+
+from repro.core.milp import MilpSettings
+from repro.experiments.ablations import (
+    average_error,
+    early_evaluation_placement_study,
+    lp_error_study,
+)
+from repro.experiments.motivational import run_motivational
+from repro.experiments.reporting import format_table
+from repro.experiments.table1 import run_table1, table1_as_rows
+from repro.experiments.table2 import (
+    average_improvement,
+    evaluate_benchmark,
+    run_table2,
+    table2_as_rows,
+)
+from repro.workloads.examples import figure1a_rrg, unbalanced_fork_join
+
+FAST = MilpSettings(time_limit=30)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.23456), ("long-name", 2)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "1.235" in text
+        assert text.endswith("\n")
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestMotivationalExperiment:
+    def test_rows_match_paper_numbers(self):
+        rows = run_motivational(alphas=(0.9,), cycles=8000, seed=1)
+        by_figure = {row.figure: row for row in rows}
+        assert by_figure["1a"].cycle_time == pytest.approx(3.0)
+        assert by_figure["1b"].exact == pytest.approx(0.719, abs=0.002)
+        assert by_figure["2"].exact == pytest.approx(1 / (3 - 2 * 0.9), abs=1e-4)
+        # Simulation agrees with the exact value within noise.
+        assert by_figure["2"].simulated == pytest.approx(
+            by_figure["2"].exact, abs=0.02
+        )
+        # Expected values are attached where the paper quotes them.
+        assert by_figure["1b"].expected == pytest.approx(0.719)
+        assert by_figure["1a"].expected is None
+
+    def test_effective_cycle_time_property(self):
+        rows = run_motivational(alphas=(0.5,), cycles=4000, seed=1)
+        for row in rows:
+            assert row.effective_cycle_time >= row.cycle_time
+
+
+class TestTable1Experiment:
+    def test_table1_on_motivational_graph(self):
+        result = run_table1(
+            figure1a_rrg(0.9), epsilon=0.05, cycles=4000, settings=FAST
+        )
+        assert len(result.rows) >= 2
+        # Rows are sorted by cycle time and every bound upper-bounds the
+        # simulation (within sampling noise).
+        taus = [row.cycle_time for row in result.rows]
+        assert taus == sorted(taus)
+        for row in result.rows:
+            assert row.throughput_bound + 0.03 >= row.throughput
+        # The best configuration clearly beats min-delay retiming (xi = 3).
+        assert result.best_by_simulation.effective_cycle_time < 2.0
+        assert not math.isnan(result.delta_percent)
+        formatted = table1_as_rows(result)
+        assert len(formatted) == len(result.rows)
+
+
+class TestTable2Experiment:
+    def test_single_benchmark_row(self):
+        rrg = unbalanced_fork_join(alpha=0.85, long_branch_delay=6.0)
+        row = evaluate_benchmark(rrg, epsilon=0.05, cycles=3000, settings=FAST)
+        assert row.xi_late > 0
+        assert row.xi_sim_min <= row.xi_late + 1e-9
+        assert row.improvement_percent >= 0.0
+
+    def test_tiny_suite_run(self):
+        rows = run_table2(
+            scale=0.15, names=["s27"], epsilon=0.1, cycles=1500, settings=FAST
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.name == "s27"
+        assert row.xi_initial >= row.xi_late - 1e-9
+        assert not math.isnan(average_improvement(rows))
+        assert len(table2_as_rows(rows)[0]) == 9
+
+
+class TestAblations:
+    def test_early_placement_study_shows_the_effect(self):
+        result = early_evaluation_placement_study(
+            alpha=0.85, long_branch_delay=6.0, epsilon=0.05, cycles=3000,
+            settings=FAST,
+        )
+        assert result.improvement_with_early > result.improvement_without_early
+        assert result.improvement_with_early > 5.0
+        assert abs(result.improvement_without_early) < 5.0
+
+    def test_lp_error_study_reports_nonnegative_errors(self):
+        samples = lp_error_study(
+            [figure1a_rrg(0.8)], epsilon=0.1, cycles=3000, settings=FAST
+        )
+        assert samples
+        for sample in samples:
+            assert sample.throughput_bound + 0.05 >= sample.throughput
+        assert average_error(samples) >= 0.0

@@ -1,0 +1,209 @@
+"""Tests for the guarded-marked-graph substrate (Procedures 1 & 2, simulation,
+Markov analysis and the LP throughput bound)."""
+
+import pytest
+
+from repro.core.configuration import RRConfiguration
+from repro.gmg.build import ValueRef, build_template, build_tgmg
+from repro.gmg.graph import TGMG, GMGError
+from repro.gmg.lp_bound import throughput_upper_bound
+from repro.gmg.markov import StateSpaceError, exact_throughput
+from repro.gmg.simulation import TGMGSimulator, simulate_tgmg, simulate_throughput
+from repro.workloads.examples import (
+    figure1b_rrg,
+    figure2_expected_throughput,
+    figure2_rrg,
+    ring_rrg,
+)
+
+
+class TestTGMGGraph:
+    def test_construction_and_accessors(self):
+        tgmg = TGMG("t")
+        tgmg.add_node("a", delay=1.0)
+        tgmg.add_node("b", delay=0.0)
+        edge = tgmg.add_edge("a", "b", marking=2)
+        assert tgmg.num_nodes == 2
+        assert tgmg.num_edges == 1
+        assert tgmg.in_edges("b")[0] is edge
+        assert tgmg.out_edges("a")[0] is edge
+        assert tgmg.marking_vector() == {0: 2}
+
+    def test_duplicate_node_rejected(self):
+        tgmg = TGMG()
+        tgmg.add_node("a")
+        with pytest.raises(GMGError):
+            tgmg.add_node("a")
+
+    def test_unknown_edge_endpoint_rejected(self):
+        tgmg = TGMG()
+        tgmg.add_node("a")
+        with pytest.raises(GMGError):
+            tgmg.add_edge("a", "missing")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(GMGError):
+            TGMG().add_node("a", delay=-1)
+
+    def test_early_node_validation(self):
+        tgmg = TGMG()
+        tgmg.add_node("a")
+        tgmg.add_node("b")
+        tgmg.add_node("mux", early=True)
+        tgmg.add_edge("a", "mux", marking=1, probability=0.4)
+        tgmg.add_edge("b", "mux", marking=0, probability=0.4)
+        with pytest.raises(GMGError):
+            tgmg.validate()
+
+
+class TestProcedures:
+    def test_procedure1_single_input_nodes(self, figure1b):
+        template = build_template(figure1b, refine=False)
+        nodes = {n.name: n for n in template.nodes}
+        # F2's delay references its input edge (F1 -> F2, index 1).
+        assert nodes["F2"].delay.kind == "buffers"
+        assert nodes["F2"].delay.edge_index == 1
+        # m has two inputs, so it gets constant delay 0 and pipe nodes exist.
+        assert nodes["m"].delay.kind == "const"
+        assert any(name.startswith("m__pipe") for name in nodes)
+
+    def test_procedure2_adds_server_and_guard_nodes(self, figure1b):
+        template = build_template(figure1b, refine=True)
+        names = {n.name for n in template.nodes}
+        assert "m__srv" in names
+        assert any(name.startswith("m__grd") for name in names)
+        server_edges = [e for e in template.edges if e.dst == "m__srv"]
+        assert len(server_edges) == 1
+        assert server_edges[0].marking.kind == "const"
+        assert server_edges[0].marking.constant == 1
+
+    def test_template_instantiation_matches_rrg_values(self, figure1b):
+        tgmg = build_tgmg(figure1b)
+        tgmg.validate()
+        # The marking of the top f -> m channel (3 tokens) must appear.
+        markings = sorted(e.marking for e in tgmg.edges)
+        assert markings[-1] == 3
+        # All node delays are integers drawn from the buffer counts or {0, 1}.
+        assert all(float(n.delay).is_integer() for n in tgmg.nodes)
+
+    def test_refinement_only_touches_early_nodes(self, pipeline):
+        with_refine = build_tgmg(pipeline, refine=True)
+        without = build_tgmg(pipeline, refine=False)
+        assert with_refine.num_nodes == without.num_nodes
+
+    def test_value_ref_resolution(self):
+        tokens = {0: 2}
+        buffers = {0: 5}
+        assert ValueRef.const(7).resolve(tokens, buffers) == 7
+        assert ValueRef.tokens(0).resolve(tokens, buffers) == 2
+        assert ValueRef.buffers(0).resolve(tokens, buffers) == 5
+        with pytest.raises(ValueError):
+            ValueRef(kind="bogus").resolve(tokens, buffers)
+
+    def test_build_tgmg_accepts_configuration(self, figure1b):
+        config = RRConfiguration.identity(figure1b)
+        tgmg = build_tgmg(config)
+        assert tgmg.num_nodes == build_tgmg(figure1b).num_nodes
+
+
+class TestSimulation:
+    def test_full_throughput_ring(self):
+        ring = ring_rrg(length=4, total_tokens=4)
+        assert simulate_throughput(ring, cycles=2000, seed=0) == pytest.approx(1.0)
+
+    def test_partial_throughput_ring(self):
+        ring = ring_rrg(length=5, total_tokens=2)
+        value = simulate_throughput(ring, cycles=5000, seed=0)
+        assert value == pytest.approx(2.0 / 5.0, abs=0.02)
+
+    def test_figure1b_alpha05(self):
+        value = simulate_throughput(figure1b_rrg(0.5), cycles=20000, seed=1)
+        assert value == pytest.approx(0.491, abs=0.015)
+
+    def test_figure2_matches_analytic_formula(self):
+        for alpha in (0.3, 0.6, 0.9):
+            value = simulate_throughput(figure2_rrg(alpha), cycles=20000, seed=2)
+            assert value == pytest.approx(
+                figure2_expected_throughput(alpha), abs=0.02
+            )
+
+    def test_all_nodes_have_equal_rates(self, figure2):
+        result = simulate_tgmg(build_tgmg(figure2), cycles=20000, seed=3)
+        assert result.max_rate - result.min_rate < 0.02
+
+    def test_simulator_is_reproducible(self, figure1b):
+        a = simulate_throughput(figure1b, cycles=3000, seed=42)
+        b = simulate_throughput(figure1b, cycles=3000, seed=42)
+        assert a == b
+
+    def test_invalid_cycles_rejected(self, figure1b):
+        simulator = TGMGSimulator(build_tgmg(figure1b), seed=0)
+        with pytest.raises(ValueError):
+            simulator.run(cycles=0)
+
+    def test_reset_restores_initial_state(self, figure1b):
+        simulator = TGMGSimulator(build_tgmg(figure1b), seed=0)
+        simulator.run(cycles=100, warmup=0)
+        simulator.reset()
+        assert simulator.cycle == 0
+        assert all(count == 0 for count in simulator.firings.values())
+
+
+class TestMarkovChain:
+    def test_marked_graph_ring_exact(self):
+        ring = ring_rrg(length=5, total_tokens=2)
+        result = exact_throughput(ring)
+        assert result.throughput == pytest.approx(0.4, abs=1e-6)
+
+    def test_figure1b_exact_values(self):
+        assert exact_throughput(figure1b_rrg(0.5)).throughput == pytest.approx(
+            0.491, abs=0.002
+        )
+        assert exact_throughput(figure1b_rrg(0.9)).throughput == pytest.approx(
+            0.719, abs=0.002
+        )
+
+    def test_figure2_exact_formula(self):
+        for alpha in (0.25, 0.5, 0.75, 0.9):
+            result = exact_throughput(figure2_rrg(alpha))
+            assert result.throughput == pytest.approx(
+                figure2_expected_throughput(alpha), abs=1e-4
+            )
+
+    def test_rates_are_uniform_across_nodes(self, figure2):
+        result = exact_throughput(figure2)
+        rates = list(result.rates.values())
+        assert max(rates) - min(rates) < 1e-6
+
+    def test_state_space_limit(self, figure1b):
+        with pytest.raises(StateSpaceError):
+            exact_throughput(figure1b, max_states=3)
+
+
+class TestLpBound:
+    def test_bound_is_exact_for_marked_graphs(self):
+        ring = ring_rrg(length=5, total_tokens=2)
+        assert throughput_upper_bound(ring) == pytest.approx(0.4, abs=1e-6)
+
+    def test_bound_upper_bounds_simulation(self, figure1b):
+        bound = throughput_upper_bound(figure1b)
+        simulated = simulate_throughput(figure1b, cycles=10000, seed=4)
+        assert bound + 1e-6 >= simulated
+
+    def test_bound_tight_for_figure2(self):
+        for alpha in (0.4, 0.9):
+            bound = throughput_upper_bound(figure2_rrg(alpha))
+            assert bound == pytest.approx(figure2_expected_throughput(alpha), abs=1e-6)
+
+    def test_bound_never_exceeds_one(self, figure1a):
+        assert throughput_upper_bound(figure1a) <= 1.0 + 1e-9
+
+    def test_refinement_tightens_the_bound(self, figure1b):
+        refined = throughput_upper_bound(figure1b, refine=True)
+        unrefined = throughput_upper_bound(figure1b, refine=False)
+        assert refined <= unrefined + 1e-9
+
+    def test_pure_backend_agrees_with_scipy(self, figure1b):
+        scipy_bound = throughput_upper_bound(figure1b, backend="scipy")
+        pure_bound = throughput_upper_bound(figure1b, backend="pure")
+        assert scipy_bound == pytest.approx(pure_bound, abs=1e-6)

@@ -1,0 +1,202 @@
+"""Unit tests for the LP expression layer (variables, expressions, constraints)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import Model
+from repro.lp.constraint import Constraint, ConstraintSense
+from repro.lp.expression import LinExpr, Variable, VarType
+
+
+def make_vars(count=3):
+    model = Model("t")
+    return model, [model.add_var(f"v{i}", lb=None) for i in range(count)]
+
+
+class TestVarType:
+    def test_coerce_strings(self):
+        assert VarType.coerce("continuous") is VarType.CONTINUOUS
+        assert VarType.coerce("integer") is VarType.INTEGER
+        assert VarType.coerce("binary") is VarType.BINARY
+
+    def test_coerce_aliases(self):
+        assert VarType.coerce("int") is VarType.INTEGER
+        assert VarType.coerce("bin") is VarType.BINARY
+        assert VarType.coerce("C") is VarType.CONTINUOUS
+
+    def test_coerce_passthrough(self):
+        assert VarType.coerce(VarType.INTEGER) is VarType.INTEGER
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ValueError):
+            VarType.coerce("complex")
+
+
+class TestVariable:
+    def test_binary_bounds_are_clamped(self):
+        var = Variable("b", lb=-5, ub=10, vtype="binary")
+        assert var.lb == 0.0
+        assert var.ub == 1.0
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            Variable("x", lb=3, ub=2)
+
+    def test_none_bounds_mean_unbounded(self):
+        var = Variable("x", lb=None, ub=None)
+        assert var.lb == -math.inf
+        assert var.ub == math.inf
+
+    def test_is_integer(self):
+        assert Variable("x", vtype="integer").is_integer
+        assert Variable("x", vtype="binary").is_integer
+        assert not Variable("x").is_integer
+
+    def test_identity_equality(self):
+        model, (x, y, _) = make_vars()
+        assert x == x
+        assert not (x == y)
+        assert x != y
+
+    def test_variables_are_hashable(self):
+        model, (x, y, z) = make_vars()
+        mapping = {x: 1, y: 2, z: 3}
+        assert mapping[x] == 1
+        assert len({x, y, z}) == 3
+
+    def test_negation(self):
+        _, (x, *_ ) = make_vars()
+        expr = -x
+        assert expr.coefficient(x) == -1.0
+
+
+class TestLinExpr:
+    def test_addition_of_variables(self):
+        _, (x, y, _) = make_vars()
+        expr = x + y
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 0.0
+
+    def test_addition_with_constants(self):
+        _, (x, *_ ) = make_vars()
+        expr = x + 5 - 2
+        assert expr.constant == 3.0
+
+    def test_right_hand_operations(self):
+        _, (x, *_ ) = make_vars()
+        expr = 10 - 2 * x
+        assert expr.constant == 10.0
+        assert expr.coefficient(x) == -2.0
+
+    def test_scalar_multiplication_and_division(self):
+        _, (x, y, _) = make_vars()
+        expr = (2 * x + 4 * y) / 2
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 2.0
+
+    def test_zero_coefficients_are_dropped(self):
+        _, (x, y, _) = make_vars()
+        expr = x + y - x
+        assert x not in expr.terms
+        assert expr.coefficient(x) == 0.0
+
+    def test_product_of_variables_raises(self):
+        _, (x, y, _) = make_vars()
+        with pytest.raises(TypeError):
+            _ = (x + 1) * y
+        with pytest.raises(TypeError):
+            _ = (x + 1) / y
+
+    def test_from_value(self):
+        _, (x, *_ ) = make_vars()
+        assert LinExpr.from_value(3.5).constant == 3.5
+        assert LinExpr.from_value(x).coefficient(x) == 1.0
+        with pytest.raises(TypeError):
+            LinExpr.from_value("nope")
+
+    def test_sum_helper(self):
+        _, (x, y, z) = make_vars()
+        expr = LinExpr.sum([x, 2 * y, z, 4])
+        assert expr.coefficient(y) == 2.0
+        assert expr.constant == 4.0
+
+    def test_dot_helper(self):
+        _, (x, y, z) = make_vars()
+        expr = LinExpr.dot([1, 0, 3], [x, y, z])
+        assert expr.coefficient(x) == 1.0
+        assert y not in expr.terms
+        assert expr.coefficient(z) == 3.0
+
+    def test_dot_length_mismatch(self):
+        _, (x, y, _) = make_vars()
+        with pytest.raises(ValueError):
+            LinExpr.dot([1], [x, y])
+
+    def test_evaluate(self):
+        _, (x, y, _) = make_vars()
+        expr = 2 * x - y + 1
+        assert expr.evaluate({x: 3, y: 4}) == pytest.approx(3.0)
+
+    def test_evaluate_missing_variable_raises(self):
+        _, (x, y, _) = make_vars()
+        with pytest.raises(KeyError):
+            (x + y).evaluate({x: 1})
+
+    def test_is_constant(self):
+        _, (x, *_ ) = make_vars()
+        assert LinExpr({}, 2.0).is_constant()
+        assert not (x + 1).is_constant()
+
+    @given(
+        a=st.floats(-10, 10, allow_nan=False),
+        b=st.floats(-10, 10, allow_nan=False),
+        c=st.floats(-10, 10, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_affine_evaluation_matches_python(self, a, b, c):
+        _, (x, y, _) = make_vars()
+        expr = a * x + b * y + c
+        assert expr.evaluate({x: 1.5, y: -2.5}) == pytest.approx(
+            a * 1.5 + b * -2.5 + c
+        )
+
+
+class TestConstraint:
+    def test_le_constraint_from_comparison(self):
+        _, (x, y, _) = make_vars()
+        constraint = x + y <= 4
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is ConstraintSense.LE
+        assert constraint.rhs == pytest.approx(4.0)
+
+    def test_ge_constraint_from_comparison(self):
+        _, (x, *_ ) = make_vars()
+        constraint = x >= 2
+        assert constraint.sense is ConstraintSense.GE
+
+    def test_eq_constraint_from_expression(self):
+        _, (x, y, _) = make_vars()
+        constraint = (x - y == 0)
+        assert constraint.sense is ConstraintSense.EQ
+
+    def test_violation_and_satisfaction(self):
+        _, (x, y, _) = make_vars()
+        constraint = x + y <= 4
+        assert constraint.is_satisfied({x: 1, y: 2})
+        assert not constraint.is_satisfied({x: 3, y: 3})
+        assert constraint.violation({x: 3, y: 3}) == pytest.approx(2.0)
+
+    def test_trivially_feasible_and_infeasible(self):
+        feasible = Constraint(LinExpr({}, -1.0), ConstraintSense.LE)
+        infeasible = Constraint(LinExpr({}, 1.0), ConstraintSense.LE)
+        assert feasible.is_trivially_feasible()
+        assert infeasible.is_trivially_infeasible()
+
+    def test_with_name(self):
+        _, (x, *_ ) = make_vars()
+        constraint = (x <= 1).with_name("cap")
+        assert constraint.name == "cap"

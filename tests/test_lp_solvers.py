@@ -1,0 +1,206 @@
+"""Solver backend tests: scipy/HiGHS vs the pure-Python simplex and B&B."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import Model, SolveStatus
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.simplex import SimplexSolver
+
+BACKENDS = ("scipy", "pure")
+
+
+def solve_both(model):
+    return {backend: model.solve(backend=backend) for backend in BACKENDS}
+
+
+class TestLinearPrograms:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_simple_maximization(self, backend):
+        model = Model("lp", sense="max")
+        x = model.add_var("x", lb=0, ub=4)
+        y = model.add_var("y", lb=0, ub=4)
+        model.add_constr(x + 2 * y <= 8)
+        model.add_constr(3 * x + y <= 9)
+        model.set_objective(2 * x + 3 * y)
+        solution = model.solve(backend=backend)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(13.0, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_minimization_with_equalities(self, backend):
+        model = Model("lp", sense="min")
+        x = model.add_var("x", lb=0)
+        y = model.add_var("y", lb=0)
+        model.add_constr(x + y == 10)
+        model.add_constr(x - y >= 2)
+        model.set_objective(3 * x + y)
+        solution = model.solve(backend=backend)
+        assert solution.is_optimal
+        assert solution[x] + solution[y] == pytest.approx(10.0, abs=1e-6)
+        assert solution.objective == pytest.approx(3 * 6 + 4, abs=1e-5)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_free_variables(self, backend):
+        model = Model("lp", sense="min")
+        w = model.add_var("w", lb=None, ub=None)
+        model.add_constr(w >= -3.5)
+        model.set_objective(w)
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(-3.5, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible_detection(self, backend):
+        model = Model("lp")
+        x = model.add_var("x", lb=0, ub=1)
+        model.add_constr(x >= 2)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unbounded_detection(self, backend):
+        model = Model("lp", sense="max")
+        x = model.add_var("x", lb=0)
+        model.set_objective(x)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.UNBOUNDED
+
+    def test_backends_agree_on_degenerate_lp(self):
+        model = Model("lp", sense="max")
+        x = model.add_var("x", lb=0, ub=10)
+        y = model.add_var("y", lb=0, ub=10)
+        model.add_constr(x + y <= 10)
+        model.add_constr(x + y <= 10)  # duplicate constraint on purpose
+        model.add_constr(x <= 10)
+        model.set_objective(x + y)
+        results = solve_both(model)
+        assert results["scipy"].objective == pytest.approx(
+            results["pure"].objective, abs=1e-6
+        )
+
+    @given(
+        c1=st.integers(-5, 5),
+        c2=st.integers(-5, 5),
+        b1=st.integers(1, 10),
+        b2=st.integers(1, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_backends_agree_on_random_bounded_lps(self, c1, c2, b1, b2):
+        model = Model("rand", sense="max")
+        x = model.add_var("x", lb=0, ub=6)
+        y = model.add_var("y", lb=0, ub=6)
+        model.add_constr(x + 2 * y <= b1)
+        model.add_constr(2 * x + y <= b2)
+        model.set_objective(c1 * x + c2 * y)
+        results = solve_both(model)
+        assert results["scipy"].status == results["pure"].status
+        if results["scipy"].is_optimal:
+            assert results["scipy"].objective == pytest.approx(
+                results["pure"].objective, abs=1e-6
+            )
+
+
+class TestMixedIntegerPrograms:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_knapsack_style_milp(self, backend):
+        model = Model("milp", sense="max")
+        a = model.add_var("a", lb=0, ub=10, vtype="integer")
+        b = model.add_var("b", lb=0, ub=10, vtype="integer")
+        model.add_constr(3 * a + 5 * b <= 17)
+        model.set_objective(2 * a + 3 * b)
+        solution = model.solve(backend=backend)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(11.0)
+        assert solution[a] == pytest.approx(round(solution[a]))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_binary_selection(self, backend):
+        model = Model("milp", sense="max")
+        items = [model.add_var(f"b{i}", vtype="binary") for i in range(4)]
+        weights = [4, 3, 2, 5]
+        values = [10, 4, 7, 9]
+        model.add_constr(
+            sum(w * v for w, v in zip(weights, items)) <= 7
+        )
+        model.set_objective(sum(v * var for v, var in zip(values, items)))
+        solution = model.solve(backend=backend)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(17.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_integer_infeasible(self, backend):
+        model = Model("milp")
+        x = model.add_var("x", lb=0, ub=10, vtype="integer")
+        model.add_constr(2 * x >= 3)
+        model.add_constr(2 * x <= 3)
+        solution = model.solve(backend=backend)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_continuous_and_integer(self, backend):
+        model = Model("milp", sense="min")
+        x = model.add_var("x", lb=0)
+        n = model.add_var("n", lb=0, ub=5, vtype="integer")
+        model.add_constr(x + n >= 3.4)
+        model.set_objective(2 * x + n)
+        solution = model.solve(backend=backend)
+        assert solution.is_optimal
+        # Best is n = 4 (cost 4) vs n = 3 + x = 0.4 (cost 3.8).
+        assert solution.objective == pytest.approx(3.8, abs=1e-6)
+
+    def test_negative_lower_bound_integers(self):
+        model = Model("milp", sense="min")
+        r = model.add_var("r", lb=-5, ub=5, vtype="integer")
+        model.add_constr(r >= -2.5)
+        model.set_objective(r)
+        for backend in BACKENDS:
+            solution = model.solve(backend=backend)
+            assert solution.objective == pytest.approx(-2.0)
+
+
+class TestRawSolvers:
+    def test_simplex_direct_call(self):
+        solver = SimplexSolver()
+        result = solver.solve(
+            c=np.array([-1.0, -1.0]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([4.0]),
+            a_eq=np.zeros((0, 2)),
+            b_eq=np.zeros(0),
+            lower=np.zeros(2),
+            upper=np.full(2, np.inf),
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4.0)
+
+    def test_simplex_empty_problem(self):
+        solver = SimplexSolver()
+        result = solver.solve(
+            c=np.zeros(0),
+            a_ub=np.zeros((0, 0)),
+            b_ub=np.zeros(0),
+            a_eq=np.zeros((0, 0)),
+            b_eq=np.zeros(0),
+            lower=np.zeros(0),
+            upper=np.zeros(0),
+        )
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_branch_and_bound_counts_nodes(self):
+        solver = BranchAndBoundSolver()
+        result = solver.solve(
+            c=np.array([-1.0, -2.0]),
+            a_ub=np.array([[1.0, 1.0], [5.0, 2.0]]),
+            b_ub=np.array([4.7, 16.0]),
+            a_eq=np.zeros((0, 2)),
+            b_eq=np.zeros(0),
+            lower=np.zeros(2),
+            upper=np.array([10.0, 10.0]),
+            integer_mask=np.array([True, True]),
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.nodes_explored >= 1
+        assert result.x is not None
+        assert float(result.x[0]) == pytest.approx(round(result.x[0]))

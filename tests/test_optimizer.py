@@ -1,0 +1,85 @@
+"""Tests for the MIN_EFF_CYC heuristic."""
+
+import pytest
+
+from repro.analysis.pareto import dominates
+from repro.core.milp import MilpSettings
+from repro.core.optimizer import min_effective_cycle_time
+from repro.gmg.markov import exact_throughput
+from repro.retiming.min_delay import min_delay_retiming
+from repro.workloads.examples import figure1a_rrg, figure2_expected_throughput
+
+
+class TestMinEffCyc:
+    def test_recovers_the_paper_optimum(self):
+        rrg = figure1a_rrg(alpha=0.9)
+        result = min_effective_cycle_time(rrg, k=3, epsilon=0.01)
+        best = result.best
+        expected_throughput = figure2_expected_throughput(0.9)
+        assert best.cycle_time == pytest.approx(1.0)
+        assert best.throughput_bound == pytest.approx(expected_throughput, abs=1e-6)
+        assert best.effective_cycle_time_bound == pytest.approx(
+            1.0 / expected_throughput, abs=1e-6
+        )
+        # The bound is tight here: exact analysis of the chosen configuration
+        # matches it.
+        exact = exact_throughput(best.configuration).throughput
+        assert exact == pytest.approx(expected_throughput, abs=1e-4)
+
+    def test_last_point_is_min_delay_retiming(self, figure1a):
+        result = min_effective_cycle_time(figure1a, epsilon=0.05)
+        full_throughput_points = [
+            p for p in result.points if p.throughput_bound >= 1.0 - 1e-6
+        ]
+        assert full_throughput_points
+        min_delay = min_delay_retiming(figure1a, method="milp")
+        assert min(
+            p.cycle_time for p in full_throughput_points
+        ) == pytest.approx(min_delay.cycle_time())
+
+    def test_points_are_mutually_non_dominated(self, figure1a_hot):
+        result = min_effective_cycle_time(figure1a_hot, epsilon=0.02)
+        points = [(p.cycle_time, p.throughput_bound) for p in result.points]
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                if i != j:
+                    assert not dominates(b[0], b[1], a[0], a[1])
+
+    def test_best_is_minimum_of_points(self, figure1a_hot):
+        result = min_effective_cycle_time(figure1a_hot, epsilon=0.02)
+        best_bound = min(p.effective_cycle_time_bound for p in result.points)
+        assert result.best.effective_cycle_time_bound == pytest.approx(best_bound)
+
+    def test_k_best_is_sorted_and_bounded(self, figure1a_hot):
+        result = min_effective_cycle_time(figure1a_hot, k=2, epsilon=0.02)
+        assert 1 <= len(result.k_best) <= 2
+        values = [p.effective_cycle_time_bound for p in result.k_best]
+        assert values == sorted(values)
+
+    def test_epsilon_validation(self, figure1a):
+        with pytest.raises(ValueError):
+            min_effective_cycle_time(figure1a, epsilon=0.0)
+
+    def test_progress_callback_is_invoked(self, figure1a_hot):
+        seen = []
+        min_effective_cycle_time(
+            figure1a_hot,
+            epsilon=0.05,
+            progress=lambda index, point: seen.append((index, point.cycle_time)),
+        )
+        assert seen
+        assert seen[0][0] == 1
+
+    def test_marked_graph_has_trivial_front(self, pipeline):
+        """Without early evaluation and with balanced cycles the best
+        configuration is the min-delay retiming itself."""
+        result = min_effective_cycle_time(pipeline, epsilon=0.05)
+        best = result.best
+        min_delay = min_delay_retiming(pipeline, method="milp")
+        assert best.effective_cycle_time_bound <= min_delay.cycle_time() + 1e-6
+
+    def test_pure_backend_end_to_end(self, two_node_loop):
+        result = min_effective_cycle_time(
+            two_node_loop, epsilon=0.2, settings=MilpSettings(backend="pure")
+        )
+        assert result.best.throughput_bound > 0

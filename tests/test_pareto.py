@@ -1,0 +1,110 @@
+"""Tests for dominance and Pareto-front extraction (Definition 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import dominates, pareto_filter, pareto_front
+from repro.analysis.performance import (
+    PerformancePoint,
+    effective_cycle_time,
+    evaluate_configuration,
+)
+from repro.core.configuration import RRConfiguration
+
+
+class TestDominance:
+    def test_strictly_better_throughput_same_cycle_time(self):
+        assert dominates(10.0, 0.9, 10.0, 0.8)
+
+    def test_equal_throughput_never_dominates(self):
+        assert not dominates(5.0, 0.8, 10.0, 0.8)
+
+    def test_worse_cycle_time_never_dominates(self):
+        assert not dominates(11.0, 0.9, 10.0, 0.8)
+
+    def test_dominance_is_irreflexive(self):
+        assert not dominates(10.0, 0.8, 10.0, 0.8)
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1.0, 0.4), (2.0, 0.8), (2.0, 0.5), (3.0, 0.9), (4.0, 0.2)]
+        front = pareto_front(points)
+        assert front == [0, 1, 3]
+
+    def test_front_is_sorted_by_cycle_time(self):
+        points = [(3.0, 0.9), (1.0, 0.4), (2.0, 0.8)]
+        front = pareto_front(points)
+        assert [points[i][0] for i in front] == sorted(points[i][0] for i in front)
+
+    def test_filter_matches_front(self):
+        labels = ["a", "b", "c"]
+        points = [(1.0, 0.5), (2.0, 0.4), (2.0, 0.9)]
+        assert pareto_filter(labels, points) == ["a", "c"]
+
+    def test_filter_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_filter(["a"], [(1.0, 0.5), (2.0, 0.4)])
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(1, 100), st.floats(0.01, 1.0)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_members_are_mutually_non_dominated(self, points):
+        front = pareto_front(points)
+        assert front  # at least one point always survives
+        for i in front:
+            for j in front:
+                if i != j:
+                    assert not dominates(*points[j], *points[i])
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(1, 100), st.floats(0.01, 1.0)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_dropped_point_is_dominated(self, points):
+        front = set(pareto_front(points))
+        for index, point in enumerate(points):
+            if index in front:
+                continue
+            assert any(dominates(*points[i], *point) for i in range(len(points)))
+
+
+class TestPerformancePoint:
+    def test_effective_cycle_time_helper(self):
+        assert effective_cycle_time(10.0, 0.5) == pytest.approx(20.0)
+        assert effective_cycle_time(10.0, 0.0) == float("inf")
+
+    def test_point_properties(self):
+        point = PerformancePoint(
+            label="p", cycle_time=8.0, throughput_bound=0.8, throughput=0.72
+        )
+        assert point.effective_cycle_time_bound == pytest.approx(10.0)
+        assert point.effective_cycle_time == pytest.approx(8.0 / 0.72)
+        assert point.bound_error_percent == pytest.approx((0.08 / 0.72) * 100)
+
+    def test_point_without_measurements(self):
+        point = PerformancePoint(label="p", cycle_time=8.0)
+        assert point.effective_cycle_time == float("inf")
+        assert point.effective_cycle_time_bound == float("inf")
+
+    def test_evaluate_configuration(self, figure1b):
+        config = RRConfiguration.identity(figure1b)
+        point = evaluate_configuration(
+            config,
+            throughput_bound=lambda c: 0.5,
+            throughput=lambda c: 0.49,
+            label="fig1b",
+        )
+        assert point.cycle_time == pytest.approx(1.0)
+        assert point.total_bubbles == 2
+        assert point.effective_cycle_time_bound == pytest.approx(2.0)

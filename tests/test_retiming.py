@@ -1,0 +1,107 @@
+"""Tests for the classical retiming baselines."""
+
+import pytest
+
+from repro.analysis.cycle_time import cycle_time
+from repro.core.rrg import RRG
+from repro.retiming.late_evaluation import late_evaluation_baseline
+from repro.retiming.leiserson_saxe import (
+    RetimingProblem,
+    leiserson_saxe_min_period,
+    retiming_feasible,
+)
+from repro.retiming.min_delay import identity_configuration, min_delay_retiming
+from repro.workloads.examples import figure1a_rrg, linear_pipeline, ring_rrg
+
+
+class TestLeisersonSaxe:
+    def test_problem_extraction_collapses_parallel_edges(self, figure1a):
+        problem = RetimingProblem.from_rrg(figure1a)
+        assert problem.size == figure1a.num_nodes
+        # Two parallel f -> m edges with 3 and 0 buffers collapse to weight 0.
+        index = {name: i for i, name in enumerate(problem.nodes)}
+        assert problem.weights[(index["f"], index["m"])] == 0
+
+    def test_min_period_on_figure1a(self, figure1a):
+        period, vector = leiserson_saxe_min_period(figure1a)
+        assert period == pytest.approx(3.0)
+        shifted = vector.shifted_tokens(figure1a)
+        assert all(value >= 0 for value in shifted.values())
+
+    def test_min_period_on_unbalanced_pipeline(self):
+        # A ring with enough registers can always be retimed down to the
+        # largest single stage delay.
+        rrg = ring_rrg(length=4, total_tokens=4, delay=2.5)
+        period, _ = leiserson_saxe_min_period(rrg)
+        assert period == pytest.approx(2.5)
+
+    def test_min_period_where_registers_are_scarce(self):
+        # A four-node ring with a single EB: no retiming can avoid a
+        # combinational path through all four nodes.
+        rrg = RRG("scarce-ring")
+        for i in range(4):
+            rrg.add_node(f"n{i}", delay=2.0)
+        for i in range(4):
+            tokens = 1 if i == 0 else 0
+            rrg.add_edge(f"n{i}", f"n{(i + 1) % 4}", tokens=tokens, buffers=tokens)
+        rrg.validate()
+        period, _ = leiserson_saxe_min_period(rrg)
+        assert period == pytest.approx(8.0)
+
+    def test_feasibility_check_direction(self, figure1a):
+        problem = RetimingProblem.from_rrg(figure1a)
+        assert retiming_feasible(problem, 3.0) is not None
+        assert retiming_feasible(problem, 2.0) is None
+
+    def test_agrees_with_milp_min_cyc(self, figure1a, pipeline, two_node_loop):
+        for rrg in (figure1a, pipeline, two_node_loop):
+            classic = min_delay_retiming(rrg, method="classic")
+            milp = min_delay_retiming(rrg, method="milp")
+            assert classic.cycle_time() == pytest.approx(
+                milp.cycle_time(), abs=1e-6
+            )
+
+
+class TestMinDelayRetiming:
+    def test_classic_configuration_is_valid(self, figure1a):
+        config = min_delay_retiming(figure1a, method="classic")
+        config.as_rrg().validate()
+        assert config.cycle_time() == pytest.approx(3.0)
+
+    def test_unknown_method_rejected(self, figure1a):
+        with pytest.raises(ValueError):
+            min_delay_retiming(figure1a, method="magic")
+
+    def test_identity_configuration(self, figure1b):
+        config = identity_configuration(figure1b)
+        assert config.cycle_time() == pytest.approx(cycle_time(figure1b))
+
+    def test_retiming_actually_helps_when_possible(self):
+        # A two-stage loop where both registers start on the same edge.
+        rrg = RRG("skewed")
+        rrg.add_node("a", delay=4.0)
+        rrg.add_node("b", delay=4.0)
+        rrg.add_edge("a", "b", tokens=2, buffers=2)
+        rrg.add_edge("b", "a", tokens=0, buffers=0)
+        rrg.validate()
+        assert cycle_time(rrg) == pytest.approx(8.0)
+        config = min_delay_retiming(rrg, method="classic")
+        assert config.cycle_time() == pytest.approx(4.0)
+
+
+class TestLateEvaluationBaseline:
+    def test_matches_min_delay_on_motivational_example(self):
+        rrg = figure1a_rrg(0.9)
+        baseline = late_evaluation_baseline(rrg, epsilon=0.05)
+        assert baseline.effective_cycle_time == pytest.approx(3.0)
+        assert baseline.min_delay_cycle_time == pytest.approx(3.0)
+
+    def test_fast_path_skips_search(self, figure1a):
+        baseline = late_evaluation_baseline(figure1a, full_search=False)
+        assert baseline.effective_cycle_time == pytest.approx(3.0)
+        assert not baseline.used_recycling
+
+    def test_baseline_never_beats_late_evaluation_optimum(self, pipeline):
+        baseline = late_evaluation_baseline(pipeline, epsilon=0.05)
+        min_delay = min_delay_retiming(pipeline, method="milp")
+        assert baseline.effective_cycle_time <= min_delay.cycle_time() + 1e-6

@@ -1,0 +1,122 @@
+"""Property-based tests on the throughput machinery.
+
+These tests check structural invariants the paper relies on:
+
+* the LP bound is an upper bound on the simulated throughput,
+* the LP bound equals the exact throughput for marked graphs (no early
+  evaluation),
+* the LP bound is invariant under retiming for a fixed buffer assignment,
+* inserting bubbles never increases the throughput bound and never decreases
+  the cycle time's feasibility.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cycle_time import cycle_time
+from repro.core.configuration import RRConfiguration, RetimingVector
+from repro.core.rrg import RRG
+from repro.core.throughput import configuration_throughput_bound
+from repro.core.transformations import insert_bubble
+from repro.gmg.lp_bound import throughput_upper_bound
+from repro.gmg.markov import exact_throughput
+from repro.gmg.simulation import simulate_throughput
+from repro.workloads.examples import figure1a_rrg
+from repro.workloads.random_rrg import random_rrg
+
+
+def small_ring(tokens_per_edge):
+    """A three-node ring whose edges carry the given token counts."""
+    rrg = RRG("ring3")
+    rrg.add_node("a", delay=1.0)
+    rrg.add_node("b", delay=1.0)
+    rrg.add_node("c", delay=1.0)
+    names = ["a", "b", "c"]
+    for i, tokens in enumerate(tokens_per_edge):
+        rrg.add_edge(names[i], names[(i + 1) % 3], tokens=tokens, buffers=max(tokens, 1))
+    rrg.validate()
+    return rrg
+
+
+class TestMarkedGraphExactness:
+    @given(
+        tokens=st.tuples(
+            st.integers(0, 2), st.integers(0, 2), st.integers(1, 2)
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_lp_bound_equals_exact_throughput_without_early_evaluation(self, tokens):
+        rrg = small_ring(tokens)
+        bound = throughput_upper_bound(rrg)
+        exact = exact_throughput(rrg).throughput
+        assert bound == pytest.approx(exact, abs=1e-6)
+
+    @given(
+        tokens=st.tuples(
+            st.integers(0, 2), st.integers(0, 2), st.integers(1, 2)
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_min_cycle_ratio_formula(self, tokens):
+        """For a single ring the throughput is (total tokens) / (total buffers)."""
+        rrg = small_ring(tokens)
+        total_tokens = sum(e.tokens for e in rrg.edges)
+        total_buffers = sum(e.buffers for e in rrg.edges)
+        expected = min(1.0, total_tokens / total_buffers)
+        assert throughput_upper_bound(rrg) == pytest.approx(expected, abs=1e-6)
+
+
+class TestBoundProperties:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_bound_dominates_simulation_on_random_graphs(self, seed):
+        rrg = random_rrg(8, 18, seed=seed)
+        bound = throughput_upper_bound(rrg)
+        simulated = simulate_throughput(rrg, cycles=3000, seed=seed)
+        assert bound + 0.03 >= simulated
+
+    @given(
+        lag_f1=st.integers(-2, 0),
+        lag_f2=st.integers(-2, 0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bound_is_retiming_invariant(self, lag_f1, lag_f2):
+        base = figure1a_rrg(0.7)
+        buffers = {0: 1, 1: 1, 2: 1, 3: 0, 4: 1, 5: 0}
+        vector = RetimingVector({"m": lag_f1, "F1": lag_f1, "F2": lag_f2})
+        shifted = vector.shifted_tokens(base)
+        # Only keep retimings that the buffer assignment can host.
+        if any(buffers[i] < shifted[i] for i in buffers):
+            return
+        retimed = RRConfiguration(base, vector, buffers=buffers)
+        reference = throughput_upper_bound(base, buffers=buffers)
+        assert configuration_throughput_bound(retimed) == pytest.approx(
+            reference, abs=1e-6
+        )
+
+    @given(edge_index=st.integers(0, 5), count=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_bubbles_never_raise_the_bound(self, edge_index, count):
+        base = figure1a_rrg(0.6)
+        config = RRConfiguration.identity(base)
+        bubbled = insert_bubble(config, edge_index, count)
+        assert (
+            configuration_throughput_bound(bubbled)
+            <= configuration_throughput_bound(config) + 1e-9
+        )
+
+    @given(edge_index=st.integers(0, 5))
+    @settings(max_examples=12, deadline=None)
+    def test_bubbles_never_increase_cycle_time(self, edge_index):
+        base = figure1a_rrg(0.6)
+        config = RRConfiguration.identity(base)
+        bubbled = insert_bubble(config, edge_index, 1)
+        assert bubbled.cycle_time() <= config.cycle_time() + 1e-9
+
+    def test_cycle_time_with_override_matches_configuration(self):
+        base = figure1a_rrg(0.6)
+        config = RRConfiguration.identity(base)
+        assert cycle_time(base, config.buffer_vector()) == pytest.approx(
+            config.cycle_time()
+        )
