@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Record a solver-benchmark snapshot comparable across PRs.
+
+Runs a fixed set of MILP workloads (the ones dominated by the LP core) and
+writes ``BENCH_<date>.json`` next to this script.  Re-run after solver
+changes and diff the ``seconds`` fields against the committed snapshot of the
+previous PR; ``seed_baseline`` pins the measurements taken at the seed commit
+(dense tableau, cold-started branch and bound) so the cumulative speedup
+stays visible.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.milp import MilpSettings, max_throughput, min_cycle_time
+from repro.core.optimizer import min_effective_cycle_time
+from repro.workloads.examples import figure1a_rrg, unbalanced_fork_join
+
+# Wall-clock seconds measured at the seed commit on the reference container
+# (dense two-phase tableau, cold-started branch and bound, pure backend).
+SEED_BASELINE = {
+    "milp_pair_fig1a_pure": 0.104,
+    "milp_pair_forkjoin_pure": 17.7,
+    "min_eff_cyc_fig1a_pure": 0.425,
+}
+
+
+def _git_revision() -> str:
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                stderr=subprocess.DEVNULL,
+            )
+            .decode()
+            .strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def _milp_pair(rrg, backend):
+    settings = MilpSettings(backend=backend)
+    a = min_cycle_time(rrg, x=1.0, settings=settings)
+    b = max_throughput(rrg, tau=rrg.max_delay, settings=settings)
+    return {
+        "min_cyc_tau": a.cycle_time,
+        "max_thr_theta": b.throughput_bound,
+        "lp_iterations": a.lp_iterations + b.lp_iterations,
+        "nodes": a.nodes + b.nodes,
+    }
+
+
+def _min_eff_cyc(rrg, backend):
+    result = min_effective_cycle_time(
+        rrg, k=3, epsilon=0.01, settings=MilpSettings(backend=backend)
+    )
+    return {
+        "best_xi_bound": result.best_effective_cycle_time_bound,
+        "milp_solves": result.milp_solves,
+        "lp_iterations": result.total_lp_iterations,
+        "nodes": result.total_nodes,
+    }
+
+
+def _workloads():
+    fig1a = figure1a_rrg(0.9)
+    fork_join = unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0)
+    yield "milp_pair_fig1a_pure", lambda: _milp_pair(fig1a, "pure")
+    yield "milp_pair_forkjoin_pure", lambda: _milp_pair(fork_join, "pure")
+    yield "min_eff_cyc_fig1a_pure", lambda: _min_eff_cyc(figure1a_rrg(0.9), "pure")
+    yield "min_eff_cyc_forkjoin_pure", lambda: _min_eff_cyc(
+        unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0), "pure"
+    )
+    try:
+        import scipy  # noqa: F401
+    except Exception:
+        return
+    yield "milp_pair_forkjoin_scipy", lambda: _milp_pair(fork_join, "scipy")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_name = f"BENCH_{datetime.date.today().isoformat()}.json"
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent / default_name),
+        help="snapshot path (default: benchmarks/BENCH_<date>.json)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per workload; the fastest is recorded (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name, run in _workloads():
+        elapsed = math.inf
+        for _ in range(max(1, args.repeats)):
+            start = time.perf_counter()
+            extra = run()
+            elapsed = min(elapsed, time.perf_counter() - start)
+        results[name] = {"seconds": round(elapsed, 4), **extra}
+        speedup = ""
+        if name in SEED_BASELINE:
+            speedup = f"  ({SEED_BASELINE[name] / elapsed:.1f}x vs seed)"
+        print(f"{name}: {elapsed:.3f}s{speedup}")
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:
+        numpy_version = None
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except Exception:
+        scipy_version = None
+
+    snapshot = {
+        "date": datetime.date.today().isoformat(),
+        "git_revision": _git_revision(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "scipy": scipy_version,
+        "seed_baseline_seconds": SEED_BASELINE,
+        "results": results,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

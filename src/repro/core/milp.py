@@ -14,6 +14,17 @@ Both programs share the same decision variables: an integer retiming lag per
 node, an integer buffer count per edge, the continuous timing variables of
 the path constraints and the continuous ``sigma``/``x`` variables of the
 throughput constraints.
+
+Solve reuse
+-----------
+The MIN_EFF_CYC heuristic solves up to ``1/epsilon`` near-identical pairs of
+these MILPs.  :class:`MilpWorkspace` builds each model **once**, with the
+swept quantity (the required ``x`` for MIN_CYC, the cycle-time budget ``tau``
+for MAX_THR) encoded as a variable fixed by its bounds.  Consecutive solves
+then mutate only those bounds on the cached standard form and warm-start the
+branch-and-bound root from the previous solve's basis — no model rebuild, no
+matrix re-assembly, and (on the pure backend) dual-simplex re-solves instead
+of cold starts.
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ from repro.core.path_constraints import add_path_constraints
 from repro.core.rrg import RRG
 from repro.core.throughput import add_throughput_constraints
 from repro.gmg.build import TGMGTemplate, build_template
-from repro.lp import Model, SolveStatus, Variable
+from repro.lp import Model, Solution, SolveStatus, Variable
 from repro.lp.errors import InfeasibleError, SolverError
 
 
@@ -44,12 +55,15 @@ class MilpSettings:
         buffer_penalty: Tiny objective weight on the total buffer count, used
             only to break ties towards configurations without gratuitous
             buffers; set to 0.0 to reproduce the paper's objective exactly.
+        warm_start: Reuse bases between consecutive solves of the same
+            workspace (pure backend only; scipy ignores it).
     """
 
     backend: str = "auto"
     time_limit: Optional[float] = None
     max_buffers_per_edge: Optional[int] = None
     buffer_penalty: float = 1e-6
+    warm_start: bool = True
 
 
 @dataclass
@@ -63,12 +77,17 @@ class MilpOutcome:
         throughput_bound: LP throughput bound implied by the MILP (``1/x``);
             for :func:`min_cycle_time` this is the requested bound.
         objective: Raw objective value reported by the solver.
+        lp_iterations: Total simplex iterations over all branch-and-bound
+            nodes (0 when the backend does not report it).
+        nodes: Branch-and-bound nodes explored (0 when not reported).
     """
 
     configuration: RRConfiguration
     cycle_time: float
     throughput_bound: float
     objective: float
+    lp_iterations: int = 0
+    nodes: int = 0
 
 
 def _default_max_buffers(rrg: RRG) -> int:
@@ -126,6 +145,156 @@ def _extract_configuration(
     )
 
 
+class _ProgramState:
+    """One cached MILP model plus its warm-start basis."""
+
+    __slots__ = ("model", "lags", "buffers", "knob", "aux", "basis")
+
+    def __init__(self, model, lags, buffers, knob, aux) -> None:
+        self.model = model
+        self.lags = lags
+        self.buffers = buffers
+        self.knob = knob  # the fixed-bound variable swept between solves
+        self.aux = aux  # tau variable for MIN_CYC, x variable for MAX_THR
+        self.basis = None
+
+
+class MilpWorkspace:
+    """Reusable MIN_CYC / MAX_THR solver state for one RRG.
+
+    Each program's model is built on first use and kept; later solves mutate
+    only the bounds of the swept variable (``x`` requirement or ``tau``
+    budget) on the cached standard form and warm-start from the previous
+    final basis.  This is what makes the MIN_EFF_CYC Pareto walk cheap: the
+    constraint matrices never change across the whole sweep.
+    """
+
+    def __init__(
+        self,
+        rrg: RRG,
+        settings: Optional[MilpSettings] = None,
+        template: Optional[TGMGTemplate] = None,
+    ) -> None:
+        rrg.validate()
+        self.rrg = rrg
+        self.settings = settings or MilpSettings()
+        self.template = template if template is not None else build_template(rrg, refine=True)
+        self._min_cyc: Optional[_ProgramState] = None
+        self._max_thr: Optional[_ProgramState] = None
+
+    # -- model builders -----------------------------------------------------
+
+    def _build_min_cyc(self) -> _ProgramState:
+        rrg = self.rrg
+        model = Model(f"{rrg.name}-min_cyc", sense="min")
+        lags, buffers = _add_structure_variables(model, rrg, self.settings)
+        tau = model.add_var("tau", lb=0.0, ub=max(rrg.total_delay, rrg.max_delay))
+        # The required inverse throughput is swept between solves; encoding it
+        # as a variable fixed by its bounds keeps the matrices constant.
+        x_req = model.add_var("x_req", lb=1.0, ub=1.0)
+        add_path_constraints(model, rrg, buffers, tau)
+        add_throughput_constraints(
+            model, rrg, buffers, x=x_req, template=self.template
+        )
+        objective = tau
+        if self.settings.buffer_penalty:
+            total_buffers = sum(buffers.values(), start=0)
+            objective = tau + self.settings.buffer_penalty * total_buffers
+        model.set_objective(objective)
+        return _ProgramState(model, lags, buffers, knob=x_req, aux=tau)
+
+    def _build_max_thr(self) -> _ProgramState:
+        rrg = self.rrg
+        model = Model(f"{rrg.name}-max_thr", sense="min")
+        lags, buffers = _add_structure_variables(model, rrg, self.settings)
+        x = model.add_var("x", lb=1.0, ub=None)
+        # The cycle-time budget is swept between solves (fixed via bounds).
+        tau_budget = model.add_var(
+            "tau_budget", lb=0.0, ub=max(rrg.total_delay, rrg.max_delay)
+        )
+        add_path_constraints(model, rrg, buffers, tau=tau_budget)
+        add_throughput_constraints(model, rrg, buffers, x=x, template=self.template)
+        objective = x
+        if self.settings.buffer_penalty:
+            total_buffers = sum(buffers.values(), start=0)
+            objective = x + self.settings.buffer_penalty * total_buffers
+        model.set_objective(objective)
+        return _ProgramState(model, lags, buffers, knob=tau_budget, aux=x)
+
+    def _solve(self, state: _ProgramState) -> Solution:
+        warm = state.basis if self.settings.warm_start else None
+        solution = state.model.solve(
+            backend=self.settings.backend,
+            time_limit=self.settings.time_limit,
+            warm_start=warm,
+        )
+        if solution.basis is not None:
+            state.basis = solution.basis
+        return solution
+
+    # -- the two programs ---------------------------------------------------
+
+    def min_cycle_time(self, x: float = 1.0) -> MilpOutcome:
+        """MIN_CYC(x): minimise the cycle time subject to Theta_lp >= 1/x."""
+        if x < 1.0:
+            raise ValueError(f"x must be >= 1 (throughput cannot exceed 1), got {x}")
+        if self._min_cyc is None:
+            self._min_cyc = self._build_min_cyc()
+        state = self._min_cyc
+        state.model.set_var_bounds(state.knob, float(x), float(x))
+        solution = self._solve(state)
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"MIN_CYC({x}) is infeasible for {self.rrg.name!r}: no configuration "
+                f"has throughput bound >= {1.0 / x:.4f}"
+            )
+        if not solution.has_point:
+            raise SolverError(
+                f"MIN_CYC({x}) failed on {self.rrg.name!r}: {solution.status.value}"
+            )
+        configuration = _extract_configuration(
+            self.rrg, solution, state.lags, state.buffers, label=f"min_cyc(x={x:.4g})"
+        )
+        return MilpOutcome(
+            configuration=configuration,
+            cycle_time=configuration.cycle_time(),
+            throughput_bound=1.0 / float(x),
+            objective=float(solution.objective),
+            lp_iterations=solution.iterations,
+            nodes=solution.nodes,
+        )
+
+    def max_throughput(self, tau: float) -> MilpOutcome:
+        """MAX_THR(tau): maximise the LP throughput bound under a cycle cap."""
+        if self._max_thr is None:
+            self._max_thr = self._build_max_thr()
+        state = self._max_thr
+        cap = max(self.rrg.total_delay, self.rrg.max_delay)
+        state.model.set_var_bounds(state.knob, 0.0, min(float(tau), cap))
+        solution = self._solve(state)
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"MAX_THR({tau}) is infeasible for {self.rrg.name!r}: the cycle-time "
+                f"budget is below the largest node delay {self.rrg.max_delay:.4f}"
+            )
+        if not solution.has_point:
+            raise SolverError(
+                f"MAX_THR({tau}) failed on {self.rrg.name!r}: {solution.status.value}"
+            )
+        configuration = _extract_configuration(
+            self.rrg, solution, state.lags, state.buffers, label=f"max_thr(tau={tau:.4g})"
+        )
+        x_value = float(solution[state.aux])
+        return MilpOutcome(
+            configuration=configuration,
+            cycle_time=configuration.cycle_time(),
+            throughput_bound=1.0 / x_value if x_value > 0 else math.inf,
+            objective=float(solution.objective),
+            lp_iterations=solution.iterations,
+            nodes=solution.nodes,
+        )
+
+
 def min_cycle_time(
     rrg: RRG,
     x: float = 1.0,
@@ -145,43 +314,11 @@ def min_cycle_time(
     Raises:
         InfeasibleError: when no configuration reaches the requested
             throughput bound.
+
+    One-shot convenience wrapper around :class:`MilpWorkspace`; callers
+    solving several related programs should hold a workspace instead.
     """
-    if x < 1.0:
-        raise ValueError(f"x must be >= 1 (throughput cannot exceed 1), got {x}")
-    settings = settings or MilpSettings()
-    rrg.validate()
-
-    model = Model(f"{rrg.name}-min_cyc", sense="min")
-    lags, buffers = _add_structure_variables(model, rrg, settings)
-    tau = model.add_var("tau", lb=0.0, ub=max(rrg.total_delay, rrg.max_delay))
-    add_path_constraints(model, rrg, buffers, tau)
-    add_throughput_constraints(model, rrg, buffers, x=float(x), template=template)
-
-    objective = tau
-    if settings.buffer_penalty:
-        total_buffers = sum(buffers.values(), start=0)
-        objective = tau + settings.buffer_penalty * total_buffers
-    model.set_objective(objective)
-
-    solution = model.solve(backend=settings.backend, time_limit=settings.time_limit)
-    if solution.status is SolveStatus.INFEASIBLE:
-        raise InfeasibleError(
-            f"MIN_CYC({x}) is infeasible for {rrg.name!r}: no configuration has "
-            f"throughput bound >= {1.0 / x:.4f}"
-        )
-    if not solution.has_point:
-        raise SolverError(
-            f"MIN_CYC({x}) failed on {rrg.name!r}: {solution.status.value}"
-        )
-    configuration = _extract_configuration(
-        rrg, solution, lags, buffers, label=f"min_cyc(x={x:.4g})"
-    )
-    return MilpOutcome(
-        configuration=configuration,
-        cycle_time=configuration.cycle_time(),
-        throughput_bound=1.0 / float(x),
-        objective=float(solution.objective),
-    )
+    return MilpWorkspace(rrg, settings=settings, template=template).min_cycle_time(x)
 
 
 def max_throughput(
@@ -202,39 +339,8 @@ def max_throughput(
     Raises:
         InfeasibleError: when ``tau`` is below the largest combinational
             delay.
+
+    One-shot convenience wrapper around :class:`MilpWorkspace`; callers
+    solving several related programs should hold a workspace instead.
     """
-    settings = settings or MilpSettings()
-    rrg.validate()
-
-    model = Model(f"{rrg.name}-max_thr", sense="min")
-    lags, buffers = _add_structure_variables(model, rrg, settings)
-    x = model.add_var("x", lb=1.0, ub=None)
-    add_path_constraints(model, rrg, buffers, tau=float(tau))
-    add_throughput_constraints(model, rrg, buffers, x=x, template=template)
-
-    objective = x
-    if settings.buffer_penalty:
-        total_buffers = sum(buffers.values(), start=0)
-        objective = x + settings.buffer_penalty * total_buffers
-    model.set_objective(objective)
-
-    solution = model.solve(backend=settings.backend, time_limit=settings.time_limit)
-    if solution.status is SolveStatus.INFEASIBLE:
-        raise InfeasibleError(
-            f"MAX_THR({tau}) is infeasible for {rrg.name!r}: the cycle-time "
-            f"budget is below the largest node delay {rrg.max_delay:.4f}"
-        )
-    if not solution.has_point:
-        raise SolverError(
-            f"MAX_THR({tau}) failed on {rrg.name!r}: {solution.status.value}"
-        )
-    configuration = _extract_configuration(
-        rrg, solution, lags, buffers, label=f"max_thr(tau={tau:.4g})"
-    )
-    x_value = float(solution[x])
-    return MilpOutcome(
-        configuration=configuration,
-        cycle_time=configuration.cycle_time(),
-        throughput_bound=1.0 / x_value if x_value > 0 else math.inf,
-        objective=float(solution.objective),
-    )
+    return MilpWorkspace(rrg, settings=settings, template=template).max_throughput(tau)

@@ -26,7 +26,7 @@ from typing import Callable, List, Optional
 
 from repro.analysis.pareto import pareto_front
 from repro.core.configuration import RRConfiguration
-from repro.core.milp import MilpOutcome, MilpSettings, max_throughput, min_cycle_time
+from repro.core.milp import MilpOutcome, MilpSettings, MilpWorkspace
 from repro.core.rrg import RRG
 from repro.core.throughput import configuration_throughput_bound
 from repro.gmg.build import TGMGTemplate, build_template
@@ -77,12 +77,20 @@ class OptimizationResult:
         k_best: The ``k`` best configurations by effective-cycle-time bound
             (including ``best``), so callers can re-rank them by simulation.
         iterations: Number of MILP pairs solved by the loop.
+        milp_solves: Total MILP solves (MAX_THR + MIN_CYC calls).
+        total_lp_iterations: Simplex iterations summed over every
+            branch-and-bound node of every MILP (0 when the backend does not
+            report iteration counts) — the number that warm starts shrink.
+        total_nodes: Branch-and-bound nodes summed over every MILP.
     """
 
     best: ParetoPoint
     points: List[ParetoPoint] = field(default_factory=list)
     k_best: List[ParetoPoint] = field(default_factory=list)
     iterations: int = 0
+    milp_solves: int = 0
+    total_lp_iterations: int = 0
+    total_nodes: int = 0
 
     @property
     def best_effective_cycle_time_bound(self) -> float:
@@ -116,9 +124,23 @@ def min_effective_cycle_time(
     rrg.validate()
     settings = settings or MilpSettings()
     template = build_template(rrg, refine=True)
+    # One workspace for the whole walk: the MIN_CYC / MAX_THR models are
+    # built once, later solves only mutate the tau / x bounds and reuse the
+    # previous basis as a warm start.
+    workspace = MilpWorkspace(rrg, settings=settings, template=template)
 
     points: List[ParetoPoint] = []
     iterations = 0
+    milp_solves = 0
+    total_lp_iterations = 0
+    total_nodes = 0
+
+    def track(outcome: MilpOutcome) -> MilpOutcome:
+        nonlocal milp_solves, total_lp_iterations, total_nodes
+        milp_solves += 1
+        total_lp_iterations += outcome.lp_iterations
+        total_nodes += outcome.nodes
+        return outcome
 
     def store(outcome: MilpOutcome) -> ParetoPoint:
         bound = configuration_throughput_bound(
@@ -135,20 +157,16 @@ def min_effective_cycle_time(
         return point
 
     tau = rrg.max_delay
-    current = store(max_throughput(rrg, tau, settings=settings, template=template))
+    current = store(track(workspace.max_throughput(tau)))
     best = current
 
     while current.throughput_bound < 1.0 - 1e-9:
         iterations += 1
         target = min(current.throughput_bound + epsilon, 1.0)
-        outcome = min_cycle_time(
-            rrg, x=1.0 / target, settings=settings, template=template
-        )
+        outcome = track(workspace.min_cycle_time(x=1.0 / target))
         tau = outcome.cycle_time
         try:
-            current = store(
-                max_throughput(rrg, tau, settings=settings, template=template)
-            )
+            current = store(track(workspace.max_throughput(tau)))
         except InfeasibleError:
             # Cannot happen for a valid tau (the MIN_CYC solution itself meets
             # it), but guard against numerical corner cases.
@@ -168,6 +186,9 @@ def min_effective_cycle_time(
         points=non_dominated,
         k_best=k_best,
         iterations=iterations,
+        milp_solves=milp_solves,
+        total_lp_iterations=total_lp_iterations,
+        total_nodes=total_nodes,
     )
 
 

@@ -29,7 +29,7 @@ class RRGError(Exception):
     """Raised when an RRG is malformed or an operation on it is invalid."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """A combinational block of the elastic system.
 
@@ -49,7 +49,7 @@ class Node:
             raise RRGError(f"node {self.name!r} has negative delay {self.delay}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Edge:
     """A channel between two combinational blocks.
 
@@ -109,6 +109,10 @@ class RRG:
         self._edges: List[Edge] = []
         self._out: Dict[str, List[int]] = {}
         self._in: Dict[str, List[int]] = {}
+        # Cached delay aggregates; invalidated whenever a node is added (the
+        # MILP builders read max_delay/total_delay in hot loops).
+        self._max_delay: Optional[float] = None
+        self._total_delay: Optional[float] = None
 
     # -- construction -------------------------------------------------------
 
@@ -120,6 +124,8 @@ class RRG:
         self._nodes[name] = node
         self._out[name] = []
         self._in[name] = []
+        self._max_delay = None
+        self._total_delay = None
         return node
 
     def add_edge(
@@ -228,15 +234,30 @@ class RRG:
 
     @property
     def max_delay(self) -> float:
-        """Largest node delay (beta_max), 0.0 for an empty graph."""
-        if not self._nodes:
-            return 0.0
-        return max(n.delay for n in self._nodes.values())
+        """Largest node delay (beta_max), 0.0 for an empty graph.
+
+        Cached until the next :meth:`add_node`.  Mutating ``node.delay``
+        directly bypasses the cache; call :meth:`invalidate_delay_cache`
+        afterwards when doing so.
+        """
+        if self._max_delay is None:
+            self._max_delay = (
+                max(n.delay for n in self._nodes.values()) if self._nodes else 0.0
+            )
+        return self._max_delay
 
     @property
     def total_delay(self) -> float:
-        """Sum of all node delays; the paper's big constant tau*."""
-        return sum(n.delay for n in self._nodes.values())
+        """Sum of all node delays; the paper's big constant tau*.  Cached
+        (see :attr:`max_delay`)."""
+        if self._total_delay is None:
+            self._total_delay = sum(n.delay for n in self._nodes.values())
+        return self._total_delay
+
+    def invalidate_delay_cache(self) -> None:
+        """Drop the cached delay aggregates after direct ``node.delay`` edits."""
+        self._max_delay = None
+        self._total_delay = None
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self._nodes.values())

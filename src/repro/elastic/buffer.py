@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 
-@dataclass
+@dataclass(slots=True)
 class ElasticBuffer:
     """A single elastic buffer stage.
 
@@ -34,7 +34,7 @@ class ElasticBuffer:
         return outgoing
 
 
-@dataclass
+@dataclass(slots=True)
 class ElasticBufferChain:
     """A series of elastic buffers implementing a channel's latency.
 

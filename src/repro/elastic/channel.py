@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class Channel:
     """Consumer-side token bookkeeping of one RRG edge.
 

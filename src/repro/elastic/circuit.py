@@ -17,7 +17,7 @@ from repro.elastic.controller import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class _EdgeHardware:
     """Everything instantiated for one RRG channel."""
 

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from repro.elastic.channel import Channel
 
 
-@dataclass
+@dataclass(slots=True)
 class ForkController:
     """Duplicates a fired token onto every output channel of a block."""
 

@@ -162,10 +162,12 @@ class MarkovChainAnalyzer:
     # -- chain construction and solution -------------------------------------------
 
     def analyze(self) -> MarkovResult:
-        """Build the reachable chain, solve the stationary distribution exactly."""
-        import scipy.sparse as sp
-        import scipy.sparse.linalg as spla
+        """Build the reachable chain, solve the stationary distribution exactly.
 
+        Uses scipy.sparse for the graph analysis when available; otherwise
+        falls back to a networkx + dense-numpy path (same results, fine for
+        the small chains this analyser targets).
+        """
         index_of: Dict[State, int] = {}
         states: List[State] = []
         transitions: List[Tuple[int, int, float]] = []
@@ -203,13 +205,18 @@ class MarkovChainAnalyzer:
             reward_rows[current] = rewards
 
         size = len(states)
-        rows = [t[0] for t in transitions]
-        cols = [t[1] for t in transitions]
-        values = [t[2] for t in transitions]
-        matrix = sp.csr_matrix((values, (rows, cols)), shape=(size, size))
+        if _scipy_sparse_available():
+            import scipy.sparse as sp
 
-        recurrent = self._recurrent_class(matrix, start)
-        distribution = self._stationary_distribution(matrix, recurrent)
+            rows = [t[0] for t in transitions]
+            cols = [t[1] for t in transitions]
+            values = [t[2] for t in transitions]
+            matrix = sp.csr_matrix((values, (rows, cols)), shape=(size, size))
+            recurrent = self._recurrent_class(matrix, start)
+            distribution = self._stationary_distribution(matrix, recurrent)
+        else:
+            recurrent = _recurrent_class_networkx(transitions, size, start)
+            distribution = _stationary_distribution_dense(transitions, recurrent)
 
         rates: Dict[str, float] = {name: 0.0 for name in self._node_names}
         for local_index, state_index in enumerate(recurrent):
@@ -274,6 +281,60 @@ def _reachable_set(matrix, start: int) -> List[int]:
         matrix, start, directed=True, return_predecessors=False
     )
     return list(order)
+
+
+def _scipy_sparse_available() -> bool:
+    try:
+        import scipy.sparse  # noqa: F401
+        import scipy.sparse.csgraph  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _recurrent_class_networkx(
+    transitions: List[Tuple[int, int, float]], size: int, start: int
+) -> List[int]:
+    """scipy-free terminal-class detection (same contract as _recurrent_class)."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(size))
+    graph.add_edges_from((i, j) for i, j, _ in transitions)
+    labels = {}
+    for label, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            labels[node] = label
+    leaves = {labels[i] for i, j, _ in transitions if labels[i] != labels[j]}
+    reachable = {start} | nx.descendants(graph, start)
+    candidates = sorted(
+        {labels[i] for i in reachable if labels[i] not in leaves}
+    )
+    if not candidates:
+        raise StateSpaceError("no terminal recurrent class found")
+    chosen = candidates[0]
+    return [i for i in range(size) if labels.get(i) == chosen]
+
+
+def _stationary_distribution_dense(
+    transitions: List[Tuple[int, int, float]], recurrent: List[int]
+) -> np.ndarray:
+    """scipy-free stationary distribution over the recurrent class."""
+    local = {state: position for position, state in enumerate(recurrent)}
+    size = len(recurrent)
+    sub = np.zeros((size, size))
+    for i, j, probability in transitions:
+        if i in local and j in local:
+            sub[local[i], local[j]] += probability
+    system = np.vstack([sub.T - np.eye(size), np.ones((1, size))])
+    rhs = np.zeros(size + 1)
+    rhs[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if total <= 0:
+        raise StateSpaceError("failed to solve the stationary distribution")
+    return solution / total
 
 
 def exact_throughput(

@@ -7,8 +7,11 @@ package provides the equivalent substrate built from scratch:
   :class:`LinExpr`, :class:`Constraint`) in the spirit of PuLP / python-mip,
 * a backend that compiles models to :func:`scipy.optimize.linprog` and
   :func:`scipy.optimize.milp` (HiGHS),
-* a pure-Python fallback solver (two-phase dense simplex plus best-first
-  branch and bound) used when scipy is unavailable or for cross-checking.
+* a pure-Python fallback solver used when scipy is unavailable or for
+  cross-checking: a bounded-variable revised simplex with warm starts
+  (:class:`RevisedSimplexSolver`) under a best-first branch and bound whose
+  nodes re-solve dual-simplex from the parent basis, plus the original dense
+  tableau (:class:`SimplexSolver`) kept as a reference implementation.
 
 Typical usage::
 
@@ -36,11 +39,21 @@ from repro.lp.errors import (
     UnboundedError,
 )
 from repro.lp.scipy_backend import ScipyBackend
-from repro.lp.simplex import SimplexSolver, SimplexResult
-from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.simplex import SimplexSolver
+from repro.lp.revised_simplex import (
+    BasisState,
+    PreparedLP,
+    RevisedSimplexSolver,
+    SimplexResult,
+)
+from repro.lp.branch_and_bound import BranchAndBoundSolver, MilpResult
 from repro.lp.pure_backend import PureBackend
 
 __all__ = [
+    "BasisState",
+    "PreparedLP",
+    "RevisedSimplexSolver",
+    "MilpResult",
     "LinExpr",
     "Variable",
     "VarType",

@@ -1,8 +1,30 @@
-"""Best-first branch and bound on top of the pure simplex solver.
+"""Branch and bound on top of the revised simplex solver.
 
 Used by :class:`repro.lp.pure_backend.PureBackend` to solve the MILPs of the
 retiming-and-recycling formulations when scipy/HiGHS is not available, and by
 the test-suite to cross-check the scipy backend on small instances.
+
+The constraint matrix is prepared once (:class:`repro.lp.revised_simplex.
+PreparedLP`) and every node re-solves the relaxation under its own bound
+vectors.  Child nodes warm-start from the parent's optimal basis: tightening
+one integer bound keeps the basis dual feasible, so the dual simplex usually
+restores optimality in a handful of pivots instead of a full cold solve.
+
+Search order is *plunging* best-first: after branching, the child whose bound
+is better is processed immediately (a depth-first dive that reaches integer
+feasibility — and therefore a pruning incumbent — quickly), while the other
+child goes on the best-first heap.  A fix-and-solve rounding heuristic at the
+root fixes every integer variable to its rounded relaxation value and
+re-solves the continuous rest, which on the retiming models often produces a
+strong incumbent for the price of one warm-started LP.
+
+Branching uses *strong branching*: both children of the most promising
+fractional candidates are actually solved (cheap, since each is a
+warm-started dual-simplex re-solve of the parent) and the variable whose
+worst child bound is largest wins; its two child solves are then reused as
+the real children.  On the weak LP relaxations of the MAX_THR models this
+shrinks the tree by an order of magnitude, which is worth far more than the
+extra relaxations per node.
 """
 
 from __future__ import annotations
@@ -16,7 +38,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.lp.simplex import SimplexResult, SimplexSolver
+from repro.lp.revised_simplex import (
+    BasisState,
+    PreparedLP,
+    RevisedSimplexSolver,
+    SimplexResult,
+)
 from repro.lp.solution import SolveStatus
 
 _INTEGRALITY_TOL = 1e-6
@@ -29,16 +56,30 @@ class _Node:
     lower: np.ndarray
     upper: np.ndarray
     depth: int
+    basis: Optional[BasisState] = None
 
 
 @dataclass
 class MilpResult:
-    """Outcome of a branch-and-bound solve."""
+    """Outcome of a branch-and-bound solve.
+
+    Attributes:
+        status: OPTIMAL, INFEASIBLE, UNBOUNDED or ERROR.
+        x: Incumbent point (``None`` unless optimal).
+        objective: Incumbent objective value.
+        nodes_explored: Number of LP relaxations solved.
+        lp_iterations: Total simplex iterations summed over every node, the
+            number that warm starts are meant to shrink.
+        basis: Optimal basis of the *root* relaxation, reusable to warm-start
+            the next MILP of the same shape (e.g. the Pareto walk).
+    """
 
     status: SolveStatus
     x: Optional[np.ndarray]
     objective: Optional[float]
     nodes_explored: int = 0
+    lp_iterations: int = 0
+    basis: Optional[BasisState] = None
 
 
 class BranchAndBoundSolver:
@@ -48,6 +89,20 @@ class BranchAndBoundSolver:
     integer variable whose fractional part is closest to 0.5 (most-fractional
     rule), which works well on the small retiming models this repository
     produces.
+
+    Args:
+        max_nodes: Node budget before giving up.
+        mip_gap: Relative gap below which a node is fathomed.
+        time_limit: Optional wall-clock limit in seconds.
+        simplex: LP engine to use; defaults to a fresh
+            :class:`RevisedSimplexSolver` with Devex pricing (which lands on
+            markedly better-branching vertices than Dantzig on the retiming
+            models).
+        warm_start: Re-solve child nodes from the parent basis (dual simplex)
+            instead of cold-starting.  Disable only for measurements.
+        strong_branching: Number of fractional candidates whose children are
+            solved before committing to a branching variable (0 disables
+            strong branching and falls back to most-fractional).
     """
 
     def __init__(
@@ -55,12 +110,16 @@ class BranchAndBoundSolver:
         max_nodes: int = 100000,
         mip_gap: float = 1e-6,
         time_limit: Optional[float] = None,
-        simplex: Optional[SimplexSolver] = None,
+        simplex: Optional[RevisedSimplexSolver] = None,
+        warm_start: bool = True,
+        strong_branching: int = 4,
     ) -> None:
         self.max_nodes = max_nodes
         self.mip_gap = mip_gap
         self.time_limit = time_limit
-        self.simplex = simplex or SimplexSolver()
+        self.simplex = simplex or RevisedSimplexSolver(pricing="devex")
+        self.warm_start = warm_start
+        self.strong_branching = strong_branching
 
     def solve(
         self,
@@ -72,35 +131,75 @@ class BranchAndBoundSolver:
         lower: np.ndarray,
         upper: np.ndarray,
         integer_mask: np.ndarray,
+        basis: Optional[BasisState] = None,
+        prep: Optional[PreparedLP] = None,
     ) -> MilpResult:
-        """Solve the MILP; arguments match :class:`StandardForm` fields."""
+        """Solve the MILP; arguments match :class:`StandardForm` fields.
+
+        ``basis`` optionally warm-starts the root relaxation (useful when a
+        structurally identical MILP was just solved with different bounds);
+        ``prep`` optionally reuses an already-assembled constraint matrix.
+        """
         c = np.asarray(c, dtype=float)
         integer_mask = np.asarray(integer_mask, dtype=bool)
         start = time.monotonic()
+        if prep is None:
+            prep = PreparedLP(c, a_ub, b_ub, a_eq, b_eq)
+        lp_iterations = 0
 
         def relax(node: _Node) -> SimplexResult:
-            return self.simplex.solve(
-                c, a_ub, b_ub, a_eq, b_eq, node.lower, node.upper
+            seed = node.basis if self.warm_start else None
+            return self.simplex.solve_prepared(
+                prep, node.lower, node.upper, basis=seed
             )
 
-        root = _Node(np.array(lower, dtype=float), np.array(upper, dtype=float), 0)
+        root = _Node(
+            np.array(lower, dtype=float), np.array(upper, dtype=float), 0, basis
+        )
         root_result = relax(root)
+        lp_iterations += root_result.iterations
         if root_result.status is SolveStatus.INFEASIBLE:
-            return MilpResult(SolveStatus.INFEASIBLE, None, None, 1)
+            return MilpResult(SolveStatus.INFEASIBLE, None, None, 1, lp_iterations)
         if root_result.status is SolveStatus.UNBOUNDED:
-            return MilpResult(SolveStatus.UNBOUNDED, None, None, 1)
+            return MilpResult(SolveStatus.UNBOUNDED, None, None, 1, lp_iterations)
         if root_result.status is not SolveStatus.OPTIMAL:
-            return MilpResult(SolveStatus.ERROR, None, None, 1)
+            return MilpResult(SolveStatus.ERROR, None, None, 1, lp_iterations)
+        root_basis = root_result.basis
 
         counter = itertools.count()
-        heap = [(root_result.objective, next(counter), root, root_result)]
+        heap: list = []
         best_x: Optional[np.ndarray] = None
         best_objective = math.inf
         nodes = 1
 
-        while heap:
-            bound, _, node, result = heapq.heappop(heap)
-            if bound >= best_objective - self.mip_gap * max(1.0, abs(best_objective)):
+        # Fix-and-solve rounding heuristic: fix the integers to their rounded
+        # root values, re-solve the continuous remainder from the root basis.
+        rounded, extra_iters = self._fix_and_solve(
+            prep, root, root_result, integer_mask
+        )
+        lp_iterations += extra_iters
+        if rounded is not None:
+            nodes += 1
+            best_objective, best_x = rounded
+
+        def cutoff() -> float:
+            if not math.isfinite(best_objective):
+                return math.inf
+            return best_objective - self.mip_gap * max(1.0, abs(best_objective))
+
+        current: Optional[tuple] = (root_result.objective, root, root_result)
+        while True:
+            if current is None:
+                while heap:
+                    bound, _, node, result = heapq.heappop(heap)
+                    if bound < cutoff():
+                        current = (bound, node, result)
+                        break
+                if current is None:
+                    break
+            bound, node, result = current
+            current = None
+            if bound >= cutoff():
                 continue
             if nodes >= self.max_nodes:
                 break
@@ -108,36 +207,68 @@ class BranchAndBoundSolver:
                 break
 
             x = result.x
-            fractional = self._most_fractional(x, integer_mask)
-            if fractional is None:
+            candidates = self._fractional_candidates(x, integer_mask)
+            if not candidates:
                 # Integer feasible point.
                 if result.objective < best_objective - 1e-12:
                     best_objective = result.objective
                     best_x = self._rounded(x, integer_mask)
                 continue
 
-            index, value = fractional
-            floor_value = math.floor(value)
-            for branch in ("down", "up"):
-                child_lower = node.lower.copy()
-                child_upper = node.upper.copy()
-                if branch == "down":
-                    child_upper[index] = min(child_upper[index], floor_value)
-                else:
-                    child_lower[index] = max(child_lower[index], floor_value + 1)
-                if child_lower[index] > child_upper[index] + 1e-12:
-                    continue
-                child = _Node(child_lower, child_upper, node.depth + 1)
-                child_result = relax(child)
-                nodes += 1
-                if child_result.status is not SolveStatus.OPTIMAL:
-                    continue
-                if child_result.objective >= best_objective - 1e-12:
-                    continue
-                heapq.heappush(
-                    heap,
-                    (child_result.objective, next(counter), child, child_result),
-                )
+            # Strong branching: solve both children of the leading candidates
+            # and commit to the variable whose *worst* child bound is largest
+            # (most pruning power).  The winning children are reused below.
+            limit = max(1, self.strong_branching)
+            best_children = None
+            best_score = -math.inf
+            fathomed = False
+            for index, value in candidates[:limit]:
+                floor_value = math.floor(value)
+                children = []
+                child_bounds = []
+                for branch in ("down", "up"):
+                    child_lower = node.lower.copy()
+                    child_upper = node.upper.copy()
+                    if branch == "down":
+                        child_upper[index] = min(child_upper[index], floor_value)
+                    else:
+                        child_lower[index] = max(child_lower[index], floor_value + 1)
+                    if child_lower[index] > child_upper[index] + 1e-12:
+                        child_bounds.append(math.inf)
+                        continue
+                    child = _Node(
+                        child_lower, child_upper, node.depth + 1, result.basis
+                    )
+                    child_result = relax(child)
+                    nodes += 1
+                    lp_iterations += child_result.iterations
+                    if child_result.status is not SolveStatus.OPTIMAL:
+                        child_bounds.append(math.inf)
+                        continue
+                    child_bounds.append(child_result.objective)
+                    if child_result.objective < cutoff():
+                        children.append(
+                            (child_result.objective, child, child_result)
+                        )
+                if not children:
+                    # Both children pruned or infeasible: this dichotomy
+                    # proves no improving solution exists in the node.
+                    fathomed = True
+                    break
+                score = min(child_bounds)
+                if score > best_score:
+                    best_score = score
+                    best_children = children
+                if nodes >= self.max_nodes:
+                    break
+
+            if fathomed or best_children is None:
+                continue
+            # Plunge into the more promising child; park the other.
+            best_children.sort(key=lambda entry: entry[0])
+            current = best_children[0]
+            for entry in best_children[1:]:
+                heapq.heappush(heap, (entry[0], next(counter), entry[1], entry[2]))
 
         if best_x is None:
             # Exhausted the tree without an integer point; if we stopped early
@@ -146,26 +277,64 @@ class BranchAndBoundSolver:
                 self.time_limit is not None
                 and time.monotonic() - start > self.time_limit
             ):
-                return MilpResult(SolveStatus.ERROR, None, None, nodes)
-            return MilpResult(SolveStatus.INFEASIBLE, None, None, nodes)
-        return MilpResult(SolveStatus.OPTIMAL, best_x, best_objective, nodes)
+                return MilpResult(
+                    SolveStatus.ERROR, None, None, nodes, lp_iterations, root_basis
+                )
+            return MilpResult(
+                SolveStatus.INFEASIBLE, None, None, nodes, lp_iterations, root_basis
+            )
+        return MilpResult(
+            SolveStatus.OPTIMAL,
+            best_x,
+            best_objective,
+            nodes,
+            lp_iterations,
+            root_basis,
+        )
+
+    def _fix_and_solve(
+        self,
+        prep: PreparedLP,
+        root: _Node,
+        root_result: SimplexResult,
+        integer_mask: np.ndarray,
+    ):
+        """Try rounding the root relaxation into an incumbent.
+
+        Fixes every integer variable to its rounded root value and re-solves
+        the continuous remainder (warm-started from the root basis).  Returns
+        ``((objective, x), iterations)`` on success, ``(None, iterations)``
+        otherwise.
+        """
+        if not integer_mask.any():
+            return None, 0
+        fixed = np.round(root_result.x[integer_mask])
+        lower = root.lower.copy()
+        upper = root.upper.copy()
+        lo_int = lower[integer_mask]
+        hi_int = upper[integer_mask]
+        fixed = np.clip(fixed, lo_int, hi_int)
+        lower[integer_mask] = fixed
+        upper[integer_mask] = fixed
+        seed = root_result.basis if self.warm_start else None
+        result = self.simplex.solve_prepared(prep, lower, upper, basis=seed)
+        if result.status is not SolveStatus.OPTIMAL:
+            return None, result.iterations
+        return (result.objective, self._rounded(result.x, integer_mask)), result.iterations
 
     @staticmethod
-    def _most_fractional(x: np.ndarray, integer_mask: np.ndarray):
-        best_index = None
-        best_score = -1.0
+    def _fractional_candidates(x: np.ndarray, integer_mask: np.ndarray):
+        """Fractional integer variables, most fractional (closest to .5) first."""
+        scored = []
         for i in np.nonzero(integer_mask)[0]:
-            value = x[i]
+            value = float(x[i])
             frac = abs(value - round(value))
             if frac <= _INTEGRALITY_TOL:
                 continue
             score = min(value - math.floor(value), math.ceil(value) - value)
-            if score > best_score:
-                best_score = score
-                best_index = int(i)
-        if best_index is None:
-            return None
-        return best_index, float(x[best_index])
+            scored.append((score, int(i), value))
+        scored.sort(reverse=True)
+        return [(index, value) for _, index, value in scored]
 
     @staticmethod
     def _rounded(x: np.ndarray, integer_mask: np.ndarray) -> np.ndarray:

@@ -86,6 +86,24 @@ class StandardForm:
         self.upper = upper
         self.integer_mask = integer_mask
         self.maximize = maximize
+        self._prepared_lp = None
+
+    def prepared_lp(self):
+        """The pure backend's cached ``[A | I]`` build of this form.
+
+        Built once per compiled form; bound/RHS mutations only require the
+        right-hand sides to be re-read, so consecutive solves of a mutated
+        model never re-assemble the constraint matrix.
+        """
+        from repro.lp.revised_simplex import PreparedLP
+
+        if self._prepared_lp is None:
+            self._prepared_lp = PreparedLP(
+                self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq
+            )
+        else:
+            self._prepared_lp.refresh_rhs(self.b_ub, self.b_eq)
+        return self._prepared_lp
 
     @property
     def num_variables(self) -> int:
@@ -112,6 +130,15 @@ class Model:
         self._names: Dict[str, Variable] = {}
         self._constraints: List[Constraint] = []
         self._objective = Objective(LinExpr(), ObjectiveSense.coerce(sense))
+        self._compiled: Optional[StandardForm] = None
+        # Constraint name -> (kind, row, sign) for in-place RHS patching of
+        # the cached standard form.  kind is "ub" or "eq"; sign records the
+        # negation applied to >= rows during compilation.
+        self._row_of: Dict[str, tuple] = {}
+
+    def _invalidate(self) -> None:
+        self._compiled = None
+        self._row_of = {}
 
     # -- variables ---------------------------------------------------------
 
@@ -147,6 +174,7 @@ class Model:
         )
         self._variables.append(var)
         self._names[name] = var
+        self._invalidate()
         return var
 
     def add_vars(
@@ -196,6 +224,7 @@ class Model:
         if constraint.is_trivially_feasible():
             return constraint
         self._constraints.append(constraint)
+        self._invalidate()
         return constraint
 
     def add_constrs(self, constraints: Iterable[Constraint], prefix: str = "") -> None:
@@ -220,6 +249,7 @@ class Model:
             self._objective.sense if sense is None else ObjectiveSense.coerce(sense)
         )
         self._objective = Objective(expr, direction)
+        self._invalidate()
 
     @property
     def objective(self) -> Objective:
@@ -239,7 +269,16 @@ class Model:
                 )
 
     def compile(self) -> StandardForm:
-        """Compile the model into matrix standard form for the backends."""
+        """Compile the model into matrix standard form for the backends.
+
+        The result is cached: repeated calls return the same
+        :class:`StandardForm` until the model structure changes.  Bound and
+        RHS mutations through :meth:`set_var_bounds` / :meth:`set_constr_rhs`
+        patch the cached arrays in place, so sweeping solvers (the Pareto
+        walk, branch and bound) never rebuild the matrices.
+        """
+        if self._compiled is not None:
+            return self._compiled
         variables = self._variables
         index = {var: i for i, var in enumerate(variables)}
         n = len(variables)
@@ -257,18 +296,22 @@ class Model:
         ub_rhs: List[float] = []
         eq_rows: List[np.ndarray] = []
         eq_rhs: List[float] = []
+        self._row_of = {}
         for constraint in self._constraints:
             row = np.zeros(n)
             for var, coeff in constraint.expr.terms.items():
                 row[index[var]] = coeff
             rhs = -constraint.expr.constant
             if constraint.sense is ConstraintSense.LE:
+                self._row_of[constraint.name] = ("ub", len(ub_rows), 1.0)
                 ub_rows.append(row)
                 ub_rhs.append(rhs)
             elif constraint.sense is ConstraintSense.GE:
+                self._row_of[constraint.name] = ("ub", len(ub_rows), -1.0)
                 ub_rows.append(-row)
                 ub_rhs.append(-rhs)
             else:
+                self._row_of[constraint.name] = ("eq", len(eq_rows), 1.0)
                 eq_rows.append(row)
                 eq_rhs.append(rhs)
 
@@ -285,7 +328,7 @@ class Model:
             else np.zeros(0, dtype=bool)
         )
 
-        return StandardForm(
+        self._compiled = StandardForm(
             variables=variables,
             c=c,
             c0=c0,
@@ -298,6 +341,59 @@ class Model:
             integer_mask=integer_mask,
             maximize=maximize,
         )
+        return self._compiled
+
+    # -- incremental mutation ----------------------------------------------
+
+    def set_var_bounds(
+        self,
+        var: Variable,
+        lb: Optional[float],
+        ub: Optional[float],
+    ) -> None:
+        """Change a variable's bounds without rebuilding the model.
+
+        ``None`` means unbounded on that side, matching :meth:`add_var`.  The
+        cached standard form (when present) is patched in place, so the next
+        solve sees the new bounds at zero rebuild cost — this is what the
+        MIN_EFF_CYC Pareto walk mutates between consecutive MILPs.
+        """
+        if var._model_id != self._id:
+            raise ModelError(f"variable {var.name!r} belongs to a different model")
+        new_lb = -math.inf if lb is None else float(lb)
+        new_ub = math.inf if ub is None else float(ub)
+        if new_lb > new_ub:
+            raise ModelError(
+                f"variable {var.name!r} would get empty domain [{new_lb}, {new_ub}]"
+            )
+        var.lb = new_lb
+        var.ub = new_ub
+        if self._compiled is not None:
+            self._compiled.lower[var.index] = new_lb
+            self._compiled.upper[var.index] = new_ub
+
+    def set_constr_rhs(self, name: str, rhs: float) -> None:
+        """Change the right-hand side of a named constraint in place.
+
+        The constraint keeps its sense and coefficients; only the constant
+        moves.  The cached standard form is patched without recompiling.
+        """
+        for i, constraint in enumerate(self._constraints):
+            if constraint.name == name:
+                updated = Constraint(
+                    LinExpr(constraint.expr.terms, -float(rhs)),
+                    constraint.sense,
+                    constraint.name,
+                )
+                self._constraints[i] = updated
+                if self._compiled is not None:
+                    kind, row, sign = self._row_of[name]
+                    target = (
+                        self._compiled.b_ub if kind == "ub" else self._compiled.b_eq
+                    )
+                    target[row] = sign * float(rhs)
+                return
+        raise ModelError(f"no constraint named {name!r}")
 
     # -- solving ----------------------------------------------------------------
 
@@ -306,6 +402,7 @@ class Model:
         backend: str = "auto",
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-6,
+        warm_start: Optional[object] = None,
     ) -> Solution:
         """Solve the model and return a :class:`Solution`.
 
@@ -315,6 +412,10 @@ class Model:
             time_limit: Optional wall-clock limit in seconds, passed to the
                 backend when it supports one.
             mip_gap: Relative MIP gap used by the branch-and-bound fallback.
+            warm_start: A previous :class:`Solution` (or its ``basis``) of a
+                structurally identical model; the pure backend re-solves from
+                that basis with the dual simplex when only bounds/RHS changed.
+                Other backends ignore it.
         """
         form = self.compile()
         chosen = backend.lower()
@@ -327,7 +428,10 @@ class Model:
         if chosen == "pure":
             from repro.lp.pure_backend import PureBackend
 
-            return PureBackend(time_limit=time_limit, mip_gap=mip_gap).solve(form)
+            basis = getattr(warm_start, "basis", warm_start)
+            return PureBackend(time_limit=time_limit, mip_gap=mip_gap).solve(
+                form, warm_basis=basis
+            )
         raise SolverError(f"unknown backend {backend!r}")
 
     # -- diagnostics ------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Backend wiring the pure-Python simplex and branch-and-bound solvers."""
+"""Backend wiring the pure-Python revised simplex and branch-and-bound solvers."""
 
 from __future__ import annotations
 
@@ -6,15 +6,19 @@ from typing import Optional
 
 from repro.lp.branch_and_bound import BranchAndBoundSolver
 from repro.lp.model import StandardForm
-from repro.lp.simplex import SimplexSolver
+from repro.lp.revised_simplex import BasisState, RevisedSimplexSolver
 from repro.lp.solution import Solution, SolveStatus
 
 
 class PureBackend:
     """Solve compiled models without scipy.
 
-    LPs go straight to :class:`SimplexSolver`; models with integer variables
-    go through :class:`BranchAndBoundSolver`.
+    LPs go straight to :class:`RevisedSimplexSolver`; models with integer
+    variables go through :class:`BranchAndBoundSolver`.  Both accept an
+    optional warm-start basis from a previous solve of a structurally
+    identical model, and the returned :class:`Solution` carries the final
+    basis so callers can chain solves (branch-and-bound does this per node
+    internally; the MIN_EFF_CYC Pareto walk does it across MILPs).
     """
 
     name = "pure-python"
@@ -24,12 +28,16 @@ class PureBackend:
         time_limit: Optional[float] = None,
         mip_gap: float = 1e-6,
         max_nodes: int = 100000,
+        warm_start: bool = True,
     ) -> None:
         self.time_limit = time_limit
         self.mip_gap = mip_gap
         self.max_nodes = max_nodes
+        self.warm_start = warm_start
 
-    def solve(self, form: StandardForm) -> Solution:
+    def solve(
+        self, form: StandardForm, warm_basis: Optional[BasisState] = None
+    ) -> Solution:
         """Solve a compiled :class:`StandardForm` and return a Solution."""
         if form.num_variables == 0:
             import numpy as np
@@ -45,11 +53,14 @@ class PureBackend:
                 SolveStatus.OPTIMAL, objective=objective, values={}, backend=self.name
             )
 
+        nodes = 0
+        basis = None
         if form.has_integers:
             solver = BranchAndBoundSolver(
                 max_nodes=self.max_nodes,
                 mip_gap=self.mip_gap,
                 time_limit=self.time_limit,
+                warm_start=self.warm_start,
             )
             result = solver.solve(
                 form.c,
@@ -60,28 +71,36 @@ class PureBackend:
                 form.lower,
                 form.upper,
                 form.integer_mask,
+                basis=warm_basis if self.warm_start else None,
+                prep=form.prepared_lp(),
             )
             x = result.x
             objective = result.objective
-            iterations = result.nodes_explored
+            iterations = result.lp_iterations
+            nodes = result.nodes_explored
+            basis = result.basis
         else:
-            simplex = SimplexSolver()
-            lp_result = simplex.solve(
-                form.c,
-                form.a_ub,
-                form.b_ub,
-                form.a_eq,
-                form.b_eq,
+            simplex = RevisedSimplexSolver()
+            lp_result = simplex.solve_prepared(
+                form.prepared_lp(),
                 form.lower,
                 form.upper,
+                basis=warm_basis if self.warm_start else None,
             )
             result = lp_result
             x = lp_result.x
             objective = lp_result.objective
             iterations = lp_result.iterations
+            basis = lp_result.basis
 
         if result.status is not SolveStatus.OPTIMAL or x is None:
-            return Solution(result.status, backend=self.name, iterations=iterations)
+            return Solution(
+                result.status,
+                backend=self.name,
+                iterations=iterations,
+                nodes=nodes,
+                basis=basis,
+            )
 
         values = {var: float(x[i]) for i, var in enumerate(form.variables)}
         raw = float(objective) + form.c0
@@ -92,4 +111,6 @@ class PureBackend:
             values=values,
             backend=self.name,
             iterations=iterations,
+            nodes=nodes,
+            basis=basis,
         )

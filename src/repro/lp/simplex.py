@@ -1,11 +1,11 @@
-"""Pure-Python (numpy) two-phase dense simplex solver.
+"""Pure-Python (numpy) two-phase dense tableau simplex solver.
 
-This is the LP engine of the fallback backend.  It is intentionally simple —
-a dense tableau with Bland's anti-cycling rule — because the retiming and
-recycling MILPs in this repository are small (a few hundred variables) and the
-scipy/HiGHS backend is preferred whenever available.  The pure solver exists
-so the library keeps working without scipy and so tests can cross-check the
-two implementations against each other.
+This is the *reference* LP engine: intentionally simple — a dense tableau
+with Bland's anti-cycling rule — and kept for cross-checking the optimised
+:class:`repro.lp.revised_simplex.RevisedSimplexSolver`, which replaced it as
+the engine of the pure backend (bounded variables handled natively, explicit
+basis inverse, warm starts).  Tests solve the same models with both and with
+scipy/HiGHS and require identical optima.
 
 The solver handles the same general form as the scipy backend::
 
@@ -23,32 +23,14 @@ two optimises the true objective starting from the phase-one basis.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.lp.revised_simplex import SimplexResult
 from repro.lp.solution import SolveStatus
 
 _EPS = 1e-9
-
-
-@dataclass
-class SimplexResult:
-    """Outcome of a pure simplex solve.
-
-    Attributes:
-        status: OPTIMAL, INFEASIBLE, UNBOUNDED or ERROR.
-        x: Primal point in the original variable space (``None`` unless
-            optimal).
-        objective: Objective value ``c @ x`` (``None`` unless optimal).
-        iterations: Total pivot count over both phases.
-    """
-
-    status: SolveStatus
-    x: Optional[np.ndarray]
-    objective: Optional[float]
-    iterations: int = 0
 
 
 class SimplexSolver:
@@ -216,11 +198,13 @@ class SimplexSolver:
     ) -> Tuple[SolveStatus, float, int]:
         """Run primal simplex iterations in place; returns (status, obj, iters)."""
         m, total = table.shape
+        reduced = np.empty(total)
         for iteration in range(self.max_iterations):
             # Reduced costs: cost - cost_B @ B^-1 A, computed from the tableau
             # (which is kept as B^-1 A throughout).
             cost_b = cost[basis]
-            reduced = cost - cost_b @ table
+            np.dot(cost_b, table, out=reduced)
+            np.subtract(cost, reduced, out=reduced)
             reduced[np.abs(reduced) < self.tolerance] = 0.0
             entering_candidates = np.nonzero(reduced < -self.tolerance)[0]
             if entering_candidates.size == 0:
@@ -249,13 +233,12 @@ class SimplexSolver:
         pivot = table[row, col]
         table[row] /= pivot
         b[row] /= pivot
-        for i in range(table.shape[0]):
-            if i != row and abs(table[i, col]) > _EPS:
-                factor = table[i, col]
-                table[i] -= factor * table[row]
-                b[i] -= factor * b[row]
-                if b[i] < 0 and b[i] > -1e-11:
-                    b[i] = 0.0
+        factors = table[:, col].copy()
+        factors[row] = 0.0
+        factors[np.abs(factors) <= _EPS] = 0.0
+        table -= np.outer(factors, table[row])
+        b -= factors * b[row]
+        b[(b < 0.0) & (b > -1e-11)] = 0.0
 
     def _drive_out_artificials(
         self,

@@ -28,7 +28,15 @@ class Solution:
         values: Mapping from variable to its value in the returned point.
         backend: Name of the backend that produced the solution.
         message: Free-form diagnostic string from the backend.
-        iterations: Backend-reported iteration count (0 when unknown).
+        iterations: Backend-reported total LP/simplex iteration count
+            (0 when unknown).  For MILPs this sums the iterations of every
+            branch-and-bound node, so warm-start savings are observable.
+        nodes: Branch-and-bound nodes explored (0 for plain LPs or when the
+            backend does not report it).
+        basis: Opaque warm-start token (a
+            :class:`repro.lp.revised_simplex.BasisState` for the pure
+            backend).  Pass it to the next ``Model.solve(warm_start=...)`` of
+            a structurally identical model to reuse the final basis.
     """
 
     def __init__(
@@ -39,6 +47,8 @@ class Solution:
         backend: str = "",
         message: str = "",
         iterations: int = 0,
+        nodes: int = 0,
+        basis: Optional[object] = None,
     ) -> None:
         self.status = status
         self.objective = objective
@@ -46,6 +56,8 @@ class Solution:
         self.backend = backend
         self.message = message
         self.iterations = iterations
+        self.nodes = nodes
+        self.basis = basis
 
     @property
     def is_optimal(self) -> bool:

@@ -150,14 +150,14 @@ class TestMixedIntegerPrograms:
         # Best is n = 4 (cost 4) vs n = 3 + x = 0.4 (cost 3.8).
         assert solution.objective == pytest.approx(3.8, abs=1e-6)
 
-    def test_negative_lower_bound_integers(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_negative_lower_bound_integers(self, backend):
         model = Model("milp", sense="min")
         r = model.add_var("r", lb=-5, ub=5, vtype="integer")
         model.add_constr(r >= -2.5)
         model.set_objective(r)
-        for backend in BACKENDS:
-            solution = model.solve(backend=backend)
-            assert solution.objective == pytest.approx(-2.0)
+        solution = model.solve(backend=backend)
+        assert solution.objective == pytest.approx(-2.0)
 
 
 class TestRawSolvers:
