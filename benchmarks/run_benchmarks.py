@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Record a solver-benchmark snapshot comparable across PRs.
+"""Record a solver/simulator benchmark snapshot comparable across PRs.
 
-Runs a fixed set of MILP workloads (the ones dominated by the LP core) and
-writes ``BENCH_<date>.json`` next to this script.  Re-run after solver
-changes and diff the ``seconds`` fields against the committed snapshot of the
-previous PR; ``seed_baseline`` pins the measurements taken at the seed commit
-(dense tableau, cold-started branch and bound) so the cumulative speedup
-stays visible.
+Runs a fixed set of MILP workloads (the ones dominated by the LP core) plus
+simulation workloads (the ones dominated by the throughput-evaluation engine)
+and writes ``BENCH_<date>.json`` next to this script.  Re-run after solver or
+simulator changes and diff the ``seconds`` fields against the committed
+snapshot of the previous PR; ``seed_baseline`` pins the measurements taken at
+the seed commit (dense tableau, cold-started branch and bound, pure-Python
+dict simulators) so the cumulative speedup stays visible.
 
 Usage::
 
@@ -25,16 +26,29 @@ import sys
 import time
 from pathlib import Path
 
+from repro.core.configuration import RRConfiguration, RetimingVector
 from repro.core.milp import MilpSettings, max_throughput, min_cycle_time
 from repro.core.optimizer import min_effective_cycle_time
-from repro.workloads.examples import figure1a_rrg, unbalanced_fork_join
+from repro.elastic.simulator import simulate_elastic_throughput
+from repro.gmg.simulation import simulate_throughput
+from repro.sim.batch import simulate_configurations, simulate_replicas
+from repro.workloads.examples import figure1a_rrg, figure2_rrg, unbalanced_fork_join
+from repro.workloads.random_rrg import random_rrg
 
-# Wall-clock seconds measured at the seed commit on the reference container
-# (dense two-phase tableau, cold-started branch and bound, pure backend).
+# Wall-clock seconds measured at the seed commit on the reference container.
+# MILP entries: dense two-phase tableau, cold-started branch and bound, pure
+# backend.  Simulation entries: the pure-Python dict simulators (which are
+# unchanged since the seed and kept as the reference oracle), run serially —
+# the sweep baseline is K single reference runs, exactly what the seed's
+# experiment loop did per Pareto candidate.
 SEED_BASELINE = {
     "milp_pair_fig1a_pure": 0.104,
     "milp_pair_forkjoin_pure": 17.7,
     "min_eff_cyc_fig1a_pure": 0.425,
+    "sim_single_midsize": 2.17,
+    "sim_elastic_midsize": 0.553,
+    "sim_pareto_sweep_k8": 15.0,
+    "sim_replicas_figure2_x64": 5.65,
 }
 
 
@@ -77,6 +91,56 @@ def _min_eff_cyc(rrg, backend):
     }
 
 
+def _recycled_configuration(rrg, stride=2, label="recycled"):
+    """A mid-size throughput-limited configuration (bubbles on half the
+    channels), the regime the experiments simulate per Pareto candidate."""
+    base = RRConfiguration.identity(rrg)
+    buffers = base.buffer_vector()
+    for edge in rrg.edges:
+        if edge.index % stride == 0:
+            buffers[edge.index] += 1
+    return RRConfiguration(rrg, RetimingVector({}), buffers, label=label)
+
+
+def _pareto_candidates(rrg, k=8):
+    """K candidate configurations of one RRG, bubbled along different edge
+    subsets; the LP-preferred one appears twice, as in the Table 2 sweep
+    ([best] + points)."""
+    base = RRConfiguration.identity(rrg)
+    candidates = []
+    for variant in range(k - 1):
+        buffers = base.buffer_vector()
+        for edge in rrg.edges:
+            if edge.index % (k - 1) != variant:
+                buffers[edge.index] += 1
+        candidates.append(
+            RRConfiguration(rrg, RetimingVector({}), buffers, label=f"cand{variant}")
+        )
+    return [candidates[0]] + candidates
+
+
+def _sim_single(configuration):
+    value = simulate_throughput(configuration, cycles=2000, seed=3, use_cache=False)
+    return {"throughput": round(value, 4)}
+
+
+def _sim_elastic(configuration):
+    value = simulate_elastic_throughput(
+        configuration, cycles=2000, seed=3, use_cache=False
+    )
+    return {"throughput": round(value, 4)}
+
+
+def _sim_sweep(candidates):
+    values = simulate_configurations(candidates, cycles=2000, seed=3, use_cache=False)
+    return {"k": len(candidates), "min_throughput": round(min(values), 4)}
+
+
+def _sim_replicas(rrg):
+    values = simulate_replicas(rrg, replicas=64, cycles=5000, seed=5)
+    return {"replicas": 64, "mean_throughput": round(float(values.mean()), 4)}
+
+
 def _workloads():
     fig1a = figure1a_rrg(0.9)
     fork_join = unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0)
@@ -86,6 +150,17 @@ def _workloads():
     yield "min_eff_cyc_forkjoin_pure", lambda: _min_eff_cyc(
         unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0), "pure"
     )
+
+    # Simulation workloads (vectorized engine; seed baselines are the
+    # reference dict simulators, which are unchanged since the seed).
+    midsize = random_rrg(100, 200, seed=17)
+    recycled = _recycled_configuration(midsize)
+    candidates = _pareto_candidates(midsize, k=8)
+    yield "sim_single_midsize", lambda: _sim_single(recycled)
+    yield "sim_elastic_midsize", lambda: _sim_elastic(recycled)
+    yield "sim_pareto_sweep_k8", lambda: _sim_sweep(candidates)
+    yield "sim_replicas_figure2_x64", lambda: _sim_replicas(figure2_rrg(0.8))
+
     try:
         import scipy  # noqa: F401
     except Exception:

@@ -76,6 +76,9 @@ class OptimizationResult:
             increasing cycle time.
         k_best: The ``k`` best configurations by effective-cycle-time bound
             (including ``best``), so callers can re-rank them by simulation.
+        best_simulated: The stored configuration of smallest *measured*
+            effective cycle time (RC_min in the paper); only set when the
+            optimiser ran its simulation phase (``simulate_cycles``).
         iterations: Number of MILP pairs solved by the loop.
         milp_solves: Total MILP solves (MAX_THR + MIN_CYC calls).
         total_lp_iterations: Simplex iterations summed over every
@@ -87,6 +90,7 @@ class OptimizationResult:
     best: ParetoPoint
     points: List[ParetoPoint] = field(default_factory=list)
     k_best: List[ParetoPoint] = field(default_factory=list)
+    best_simulated: Optional[ParetoPoint] = None
     iterations: int = 0
     milp_solves: int = 0
     total_lp_iterations: int = 0
@@ -106,6 +110,9 @@ def min_effective_cycle_time(
     epsilon: float = 0.01,
     settings: Optional[MilpSettings] = None,
     progress: Optional[ProgressCallback] = None,
+    simulate_cycles: Optional[int] = None,
+    simulate_seed: int = 0,
+    simulate_warmup: Optional[int] = None,
 ) -> OptimizationResult:
     """Run MIN_EFF_CYC on an RRG.
 
@@ -115,6 +122,13 @@ def min_effective_cycle_time(
         epsilon: Throughput increment per iteration (0.01 in the paper).
         settings: MILP solver settings shared by all solves.
         progress: Optional callback invoked after each stored configuration.
+        simulate_cycles: When set, run the simulation phase: every stored
+            configuration is evaluated in one batched run of the vectorized
+            engine (``repro.sim``), ``point.throughput`` is filled in and
+            ``result.best_simulated`` identifies RC_min.
+        simulate_seed: Seed shared by all simulation lanes.
+        simulate_warmup: Warm-up cycles for the simulation phase (defaults to
+            the simulators' ``max(200, cycles // 10)``).
 
     Returns:
         An :class:`OptimizationResult`; ``result.best`` is RC_lp_min.
@@ -181,10 +195,26 @@ def min_effective_cycle_time(
     k_best = sorted(non_dominated, key=lambda p: p.effective_cycle_time_bound)[
         : max(k, 1)
     ]
+    best_simulated: Optional[ParetoPoint] = None
+    if simulate_cycles:
+        from repro.sim.batch import simulate_configurations
+
+        throughputs = simulate_configurations(
+            [point.configuration for point in non_dominated],
+            cycles=simulate_cycles,
+            warmup=simulate_warmup,
+            seed=simulate_seed,
+        )
+        for point, throughput in zip(non_dominated, throughputs):
+            point.throughput = throughput
+        best_simulated = min(
+            non_dominated, key=lambda p: p.effective_cycle_time, default=None
+        )
     return OptimizationResult(
         best=best,
         points=non_dominated,
         k_best=k_best,
+        best_simulated=best_simulated,
         iterations=iterations,
         milp_solves=milp_solves,
         total_lp_iterations=total_lp_iterations,

@@ -9,8 +9,8 @@ modelled as a single-entry pipeline stage that always advances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from collections import deque
+from dataclasses import dataclass
 
 
 @dataclass(slots=True)
@@ -34,33 +34,37 @@ class ElasticBuffer:
         return outgoing
 
 
-@dataclass(slots=True)
 class ElasticBufferChain:
     """A series of elastic buffers implementing a channel's latency.
 
-    Attributes:
-        stages: The EB stages, ordered from producer side to consumer side.
+    The occupancy flags live in a ``deque`` ring (index 0 is the producer
+    side), so clocking the chain is an O(1) rotation instead of the old
+    per-stage shift loop — a depth-``d`` chain no longer pays O(d) Python
+    work every cycle.
     """
 
-    stages: List[ElasticBuffer] = field(default_factory=list)
+    __slots__ = ("_cells",)
+
+    def __init__(self, length: int = 0) -> None:
+        if length < 0:
+            raise ValueError("buffer chain length cannot be negative")
+        self._cells: deque = deque([False] * length, maxlen=length)
 
     @classmethod
     def of_length(cls, length: int) -> "ElasticBufferChain":
-        if length < 0:
-            raise ValueError("buffer chain length cannot be negative")
-        return cls(stages=[ElasticBuffer() for _ in range(length)])
+        return cls(length)
 
     @property
     def length(self) -> int:
-        return len(self.stages)
+        return len(self._cells)
 
     @property
     def occupancy(self) -> int:
         """Number of tokens currently stored in the chain."""
-        return sum(1 for stage in self.stages if stage.occupied)
+        return sum(self._cells)
 
     def advance(self, incoming: bool) -> bool:
-        """Clock the chain: shift every stage and emit the consumer-side token.
+        """Clock the chain: rotate the ring and emit the consumer-side token.
 
         A token pushed by the producer during cycle ``t`` is captured by the
         first EB at the clock edge ending that cycle; it becomes visible to
@@ -77,13 +81,12 @@ class ElasticBufferChain:
             a zero-length chain the incoming token passes through
             combinationally).
         """
-        if not self.stages:
+        cells = self._cells
+        if not cells:
             return incoming
-        for i in range(len(self.stages) - 1, 0, -1):
-            self.stages[i].occupied = self.stages[i - 1].occupied
-        self.stages[0].occupied = incoming
-        emerged = self.stages[-1].occupied
-        self.stages[-1].occupied = False
+        cells.appendleft(bool(incoming))  # maxlen drops the consumer-side cell
+        emerged = cells[-1]
+        cells[-1] = False
         return emerged
 
     def preload(self, tokens: int) -> int:
@@ -94,9 +97,7 @@ class ElasticBufferChain:
         which matches the marked-graph view of the initial state).
         """
         remaining = int(tokens)
-        for stage in reversed(self.stages):
-            if remaining <= 0:
-                break
-            stage.occupied = True
-            remaining -= 1
-        return max(remaining, 0)
+        placed = min(remaining, len(self._cells))
+        for offset in range(1, placed + 1):
+            self._cells[-offset] = True
+        return max(remaining - placed, 0)

@@ -4,6 +4,14 @@ This simulator is the reproduction's stand-in for the paper's Verilog
 simulations.  It is an independent implementation of the same handshake
 semantics as the TGMG simulator (:mod:`repro.gmg.simulation`); the test-suite
 cross-checks that both estimate the same steady-state throughput.
+
+:class:`ElasticSimulator` is kept as a *reference semantics oracle*: the
+compiled engine in :mod:`repro.sim` simulates the same circuit state (channel
+markings, EB-chain latencies, early-join selections) as flat arrays and is
+cross-checked against it firing-for-firing.  The
+:func:`simulate_elastic_throughput` wrapper defaults to the vectorized
+engine, which is bit-identical under the same seed; pass
+``engine="reference"`` to force the structural simulator.
 """
 
 from __future__ import annotations
@@ -123,7 +131,25 @@ def simulate_elastic_throughput(
     cycles: int = 10000,
     warmup: Optional[int] = None,
     seed: Optional[int] = None,
+    engine: str = "vector",
+    use_cache: bool = True,
 ) -> float:
-    """Convenience wrapper returning just the estimated throughput."""
-    simulator = ElasticSimulator(source, seed=seed)
-    return simulator.run(cycles=cycles, warmup=warmup).throughput
+    """Convenience wrapper returning just the estimated throughput.
+
+    ``engine="vector"`` (default) runs the compiled array engine on the same
+    circuit semantics (bit-identical under the same seed);
+    ``engine="reference"`` runs the structural simulator above.
+    """
+    if engine == "reference":
+        simulator = ElasticSimulator(source, seed=seed)
+        return simulator.run(cycles=cycles, warmup=warmup).throughput
+    from repro.sim.batch import simulate_throughput_vector
+
+    return simulate_throughput_vector(
+        source,
+        cycles=cycles,
+        warmup=warmup,
+        seed=seed,
+        mode="elastic",
+        use_cache=use_cache,
+    )

@@ -18,8 +18,8 @@ from repro.core.milp import MilpSettings
 from repro.core.optimizer import min_effective_cycle_time
 from repro.core.rrg import RRG
 from repro.core.throughput import configuration_throughput_bound
-from repro.gmg.simulation import simulate_throughput
 from repro.retiming.late_evaluation import late_evaluation_baseline
+from repro.sim.batch import simulate_configurations
 from repro.workloads.examples import unbalanced_fork_join
 
 
@@ -43,8 +43,10 @@ def _improvement(rrg: RRG, epsilon: float, cycles: int, seed: int,
     )
     result = min_effective_cycle_time(rrg, k=3, epsilon=epsilon, settings=settings)
     best_xi = baseline.effective_cycle_time
-    for point in result.points:
-        throughput = simulate_throughput(point.configuration, cycles=cycles, seed=seed)
+    throughputs = simulate_configurations(
+        [point.configuration for point in result.points], cycles=cycles, seed=seed
+    )
+    for point, throughput in zip(result.points, throughputs):
         if throughput > 0:
             best_xi = min(best_xi, point.cycle_time / throughput)
     if baseline.effective_cycle_time <= 0:
@@ -118,10 +120,12 @@ def lp_error_study(
     samples: List[LpErrorSample] = []
     for rrg in rrgs:
         result = min_effective_cycle_time(rrg, k=3, epsilon=epsilon, settings=settings)
-        for point in result.points:
-            throughput = simulate_throughput(
-                point.configuration, cycles=cycles, seed=seed
-            )
+        throughputs = simulate_configurations(
+            [point.configuration for point in result.points],
+            cycles=cycles,
+            seed=seed,
+        )
+        for point, throughput in zip(result.points, throughputs):
             bound = configuration_throughput_bound(point.configuration)
             samples.append(
                 LpErrorSample(

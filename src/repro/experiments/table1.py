@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from repro.core.milp import MilpSettings
 from repro.core.optimizer import OptimizationResult, min_effective_cycle_time
 from repro.core.rrg import RRG
-from repro.gmg.simulation import simulate_throughput
+from repro.sim.batch import simulate_configurations
 
 
 @dataclass
@@ -88,10 +88,10 @@ def run_table1(
     """Produce the Table 1 analysis for one benchmark RRG."""
     result = min_effective_cycle_time(rrg, k=k, epsilon=epsilon, settings=settings)
     rows: List[Table1Row] = []
-    for point in result.points:
-        throughput = simulate_throughput(
-            point.configuration, cycles=cycles, seed=seed
-        )
+    throughputs = simulate_configurations(
+        [point.configuration for point in result.points], cycles=cycles, seed=seed
+    )
+    for point, throughput in zip(result.points, throughputs):
         point.throughput = throughput
         rows.append(
             Table1Row(

@@ -103,12 +103,13 @@ class MarkovChainAnalyzer:
     ) -> Tuple[State, Tuple[str, ...]]:
         """Advance one cycle deterministically given the guard assignment."""
         markings = list(state[0])
-        inflight = [list(f) for f in state[1]]
+        inflight = state[1]
 
         # 1. Arrivals: firings whose full delay has elapsed deliver tokens.
         for slot, name in enumerate(self._delayed_nodes):
-            if inflight[slot] and inflight[slot][-1]:
-                count = inflight[slot][-1]
+            register = inflight[slot]
+            if register and register[-1]:
+                count = register[-1]
                 for edge in self._out_edges[name]:
                     markings[edge.index] += count
 
@@ -139,10 +140,13 @@ class MarkovChainAnalyzer:
                 changed = True
 
         # 3. Shift the in-flight registers and record this cycle's firings.
-        for slot, name in enumerate(self._delayed_nodes):
-            register = inflight[slot]
-            register.pop()
-            register.insert(0, 1 if name in fired_set else 0)
+        # Rebuilt by tuple slicing (one C-level copy) instead of the old
+        # list pop()/insert(0, ...) churn, which shifted every element of a
+        # depth-d register through Python on every cycle.
+        new_inflight = tuple(
+            ((1 if name in fired_set else 0),) + inflight[slot][:-1]
+            for slot, name in enumerate(self._delayed_nodes)
+        )
 
         # 4. Early nodes keep their guard while stalled, clear it when fired.
         new_guards = []
@@ -154,7 +158,7 @@ class MarkovChainAnalyzer:
 
         new_state: State = (
             tuple(markings),
-            tuple(tuple(f) for f in inflight),
+            new_inflight,
             tuple(new_guards),
         )
         return new_state, tuple(fired)
@@ -224,9 +228,6 @@ class MarkovChainAnalyzer:
             for name, reward in reward_rows[state_index].items():
                 rates[name] += weight * reward
 
-        reference = [
-            rate for name, rate in rates.items() if self._delays[name] >= 0
-        ]
         throughput = float(np.median(np.array(list(rates.values()))))
         return MarkovResult(
             throughput=throughput, num_states=len(recurrent), rates=rates
@@ -253,7 +254,9 @@ class MarkovChainAnalyzer:
         candidates = [c for c in terminal if any(labels[i] == c for i in reachable)]
         if not candidates:
             raise StateSpaceError("no terminal recurrent class found")
-        chosen = candidates[0]
+        # Deterministic tie-break (lowest component label), matching the
+        # networkx fallback path.
+        chosen = min(candidates)
         return [i for i in range(matrix.shape[0]) if labels[i] == chosen]
 
     @staticmethod

@@ -15,6 +15,13 @@ The simulator implements the cycle-level semantics of an elastic system:
 This is the reproduction's substitute for the paper's Verilog simulations of
 the elastic controllers: the measured quantity, the steady-state token rate,
 is fully determined by these handshake semantics.
+
+:class:`TGMGSimulator` is the *reference semantics oracle*: a deliberately
+simple per-node implementation that the compiled engine in :mod:`repro.sim`
+is cross-checked against firing-for-firing (``tests/test_sim_engine.py``).
+The module-level wrappers (:func:`simulate_tgmg`, :func:`simulate_throughput`)
+default to the vectorized engine, which produces bit-identical results under
+the same seed; pass ``engine="reference"`` to force the oracle.
 """
 
 from __future__ import annotations
@@ -181,12 +188,23 @@ def simulate_tgmg(
     cycles: int = 10000,
     warmup: Optional[int] = None,
     seed: Optional[int] = None,
+    engine: str = "vector",
 ) -> SimulationResult:
-    """Simulate a TGMG and estimate its steady-state throughput."""
+    """Simulate a TGMG and estimate its steady-state throughput.
+
+    ``engine="vector"`` (default) compiles the TGMG into the array engine of
+    :mod:`repro.sim`; ``engine="reference"`` runs the pure-Python oracle.
+    Both are bit-identical under the same seed.
+    """
     if warmup is None:
         warmup = max(200, cycles // 10)
-    simulator = TGMGSimulator(tgmg, seed=seed)
-    return simulator.run(cycles=cycles, warmup=warmup)
+    if engine == "reference":
+        simulator = TGMGSimulator(tgmg, seed=seed)
+        return simulator.run(cycles=cycles, warmup=warmup)
+    from repro.sim.engine import VectorSimulator, compile_tgmg
+
+    vectorized = VectorSimulator(compile_tgmg(tgmg), seeds=[seed])
+    return vectorized.run(cycles=cycles, warmup=warmup).result(0)
 
 
 def simulate_throughput(
@@ -196,12 +214,34 @@ def simulate_throughput(
     seed: Optional[int] = None,
     tokens: Optional[Mapping[int, int]] = None,
     buffers: Optional[Mapping[int, int]] = None,
+    engine: str = "vector",
+    use_cache: bool = True,
 ) -> float:
     """Estimate the actual throughput of an RRG or configuration by simulation.
 
     The RRG is first translated to its refined TGMG (Procedures 1 and 2), then
     simulated synchronously.  The returned value approximates Theta(RC); its
     accuracy grows with ``cycles``.
+
+    ``engine="vector"`` (default) goes through the compiled engine with
+    template reuse and a throughput cache keyed by (configuration, cycles,
+    seed); ``engine="reference"`` builds the TGMG and runs the pure-Python
+    oracle.  Both return the same value for the same seed.
     """
-    tgmg = build_tgmg(source, tokens=tokens, buffers=buffers, refine=True)
-    return simulate_tgmg(tgmg, cycles=cycles, warmup=warmup, seed=seed).throughput
+    if engine == "reference":
+        tgmg = build_tgmg(source, tokens=tokens, buffers=buffers, refine=True)
+        return simulate_tgmg(
+            tgmg, cycles=cycles, warmup=warmup, seed=seed, engine="reference"
+        ).throughput
+    from repro.sim.batch import simulate_throughput_vector
+
+    return simulate_throughput_vector(
+        source,
+        cycles=cycles,
+        warmup=warmup,
+        seed=seed,
+        tokens=dict(tokens) if tokens is not None else None,
+        buffers=dict(buffers) if buffers is not None else None,
+        mode="tgmg",
+        use_cache=use_cache,
+    )

@@ -1,0 +1,43 @@
+"""Vectorized batch simulation engine.
+
+Compiles TGMGs / elastic circuits into flat numpy index arrays and advances
+whole cycles (and whole batches of configurations or replicas) with array
+operations, while staying firing-for-firing compatible with the pure-Python
+reference simulators under a shared seed.  See ``docs/performance.md``.
+"""
+
+from repro.sim.batch import (
+    simulate_configurations,
+    simulate_replicas,
+    simulate_throughput_vector,
+)
+from repro.sim.cache import cache_stats, clear_caches, compiled_template_for
+from repro.sim.engine import (
+    BatchRunResult,
+    CompiledModel,
+    CompiledStructure,
+    CompiledTemplate,
+    VectorSimulator,
+    compile_elastic_template,
+    compile_template,
+    compile_tgmg,
+)
+from repro.sim.scalar import ScalarSimulator
+
+__all__ = [
+    "BatchRunResult",
+    "CompiledModel",
+    "CompiledStructure",
+    "CompiledTemplate",
+    "ScalarSimulator",
+    "VectorSimulator",
+    "cache_stats",
+    "clear_caches",
+    "compile_elastic_template",
+    "compile_template",
+    "compile_tgmg",
+    "compiled_template_for",
+    "simulate_configurations",
+    "simulate_replicas",
+    "simulate_throughput_vector",
+]

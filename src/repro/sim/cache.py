@@ -1,0 +1,152 @@
+"""Caches for the vectorized simulation engine.
+
+Two layers of reuse keep Pareto sweeps cheap:
+
+* a **compiled-template cache**: the CSR structure of an RRG's TGMG (or of
+  its structural elastic circuit) depends only on the graph shape, so it is
+  compiled once per RRG fingerprint and re-instantiated per configuration;
+* a **throughput cache** keyed by ``(configuration, cycles, warmup, seed)``:
+  simulation is deterministic given a seed, so re-evaluating the same
+  configuration (e.g. RC_lp_min appearing both as ``best`` and among the
+  stored Pareto points) is a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.core.rrg import RRG
+from repro.sim.engine import (
+    CompiledTemplate,
+    compile_elastic_template,
+    compile_template,
+)
+
+
+def rrg_fingerprint(rrg: RRG) -> Tuple:
+    """Structural identity of an RRG for cache keys.
+
+    Covers everything the simulators read: node order, delays, early flags,
+    edge endpoints and branch probabilities.  Token/buffer vectors are *not*
+    part of the fingerprint — they vary per configuration and enter the
+    throughput-cache key separately.
+    """
+    nodes = tuple(
+        (node.name, float(node.delay), bool(node.early)) for node in rrg.nodes
+    )
+    edges = tuple(
+        (
+            edge.src,
+            edge.dst,
+            None if edge.probability is None else float(edge.probability),
+        )
+        for edge in rrg.edges
+    )
+    return (rrg.name, nodes, edges)
+
+
+def vector_key(vector: Mapping[int, int]) -> Tuple[Tuple[int, int], ...]:
+    """Hashable form of a per-edge token/buffer vector."""
+    return tuple(sorted((int(k), int(v)) for k, v in vector.items()))
+
+
+class _LruCache:
+    """A tiny LRU dictionary with hit/miss counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_TEMPLATES = _LruCache(maxsize=64)
+_THROUGHPUTS = _LruCache(maxsize=4096)
+
+
+def compiled_template_for(
+    rrg: RRG, mode: str = "tgmg", refine: bool = True
+) -> CompiledTemplate:
+    """The (cached) compiled template of an RRG for one simulation mode."""
+    key = (rrg_fingerprint(rrg), mode, refine)
+    template = _TEMPLATES.get(key)
+    if template is None:
+        if mode == "tgmg":
+            template = compile_template(rrg, refine=refine)
+        elif mode == "elastic":
+            template = compile_elastic_template(rrg)
+        else:
+            raise ValueError(f"unknown simulation mode {mode!r}")
+        _TEMPLATES.put(key, template)
+    return template
+
+
+def throughput_key(
+    fingerprint: Tuple,
+    mode: str,
+    tokens: Mapping[int, int],
+    buffers: Mapping[int, int],
+    cycles: int,
+    warmup: int,
+    seed: Optional[int],
+) -> Tuple:
+    return (
+        fingerprint,
+        mode,
+        vector_key(tokens),
+        vector_key(buffers),
+        int(cycles),
+        int(warmup),
+        seed,
+    )
+
+
+def cached_throughput(key: Tuple) -> Optional[float]:
+    return _THROUGHPUTS.get(key)  # type: ignore[return-value]
+
+
+def store_throughput(key: Tuple, value: float) -> None:
+    _THROUGHPUTS.put(key, float(value))
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of both caches (for tests and diagnostics)."""
+    return {
+        "template_hits": _TEMPLATES.hits,
+        "template_misses": _TEMPLATES.misses,
+        "template_size": len(_TEMPLATES),
+        "throughput_hits": _THROUGHPUTS.hits,
+        "throughput_misses": _THROUGHPUTS.misses,
+        "throughput_size": len(_THROUGHPUTS),
+    }
+
+
+def clear_caches() -> None:
+    """Drop every cached template and throughput (mainly for tests)."""
+    _TEMPLATES.clear()
+    _THROUGHPUTS.clear()

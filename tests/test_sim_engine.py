@@ -1,0 +1,218 @@
+"""Cross-checks of the vectorized engine against the reference simulators.
+
+The pure-Python :class:`TGMGSimulator` and :class:`ElasticSimulator` are the
+semantics oracle; the compiled engine must match them *firing for firing*
+under a shared seed (same per-cycle fired sets, same markings, same firing
+counts) and must agree with the exact Markov-chain throughput on the small
+analytic examples.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import RRConfiguration, RetimingVector
+from repro.elastic.simulator import ElasticSimulator, simulate_elastic_throughput
+from repro.gmg.build import build_tgmg
+from repro.gmg.markov import exact_throughput
+from repro.gmg.simulation import TGMGSimulator, simulate_throughput
+from repro.sim import (
+    VectorSimulator,
+    cache_stats,
+    clear_caches,
+    compile_tgmg,
+    compiled_template_for,
+    simulate_configurations,
+    simulate_replicas,
+)
+from repro.workloads.examples import (
+    figure1b_rrg,
+    figure2_expected_throughput,
+    figure2_rrg,
+    ring_rrg,
+)
+from repro.workloads.random_rrg import random_rrg
+
+
+def _tgmg_reference_pair(rrg, seed):
+    tgmg = build_tgmg(rrg)
+    reference = TGMGSimulator(tgmg, seed=seed)
+    vectorized = VectorSimulator(compile_tgmg(tgmg), seeds=[seed])
+    return tgmg, reference, vectorized
+
+
+class TestTGMGCrossCheck:
+    @pytest.mark.parametrize("graph_seed", [0, 3, 11, 42])
+    def test_random_rrg_firing_for_firing(self, graph_seed):
+        rrg = random_rrg(10, 20, seed=graph_seed)
+        tgmg, reference, vectorized = _tgmg_reference_pair(rrg, seed=graph_seed + 100)
+        for cycle in range(300):
+            fired_ref = set(reference.step())
+            mask = vectorized.step(record=True)
+            fired_vec = set(vectorized.fired_names(mask))
+            assert fired_ref == fired_vec, f"cycle {cycle}"
+            markings_ref = [reference.marking[i] for i in range(tgmg.num_edges)]
+            assert (np.asarray(markings_ref) == vectorized.marking[0]).all()
+        node_names = [n.name for n in tgmg.nodes]
+        for position, name in enumerate(node_names):
+            assert reference.firings[name] == vectorized.firings[0][position]
+
+    @pytest.mark.parametrize("alpha", [0.5, 0.9])
+    def test_figures_firing_for_firing(self, alpha):
+        for rrg in (figure1b_rrg(alpha), figure2_rrg(alpha)):
+            _, reference, vectorized = _tgmg_reference_pair(rrg, seed=7)
+            for _ in range(400):
+                fired_ref = set(reference.step())
+                mask = vectorized.step(record=True)
+                assert fired_ref == set(vectorized.fired_names(mask))
+
+    def test_wrapper_bit_identical_to_reference(self):
+        for rrg in (figure1b_rrg(0.5), figure2_rrg(0.8), ring_rrg(5, 2)):
+            vector = simulate_throughput(rrg, cycles=3000, seed=13, use_cache=False)
+            reference = simulate_throughput(rrg, cycles=3000, seed=13, engine="reference")
+            assert vector == reference  # exact float equality
+
+
+class TestElasticCrossCheck:
+    @pytest.mark.parametrize("graph_seed", [1, 5])
+    def test_random_rrg_matches_structural_simulator(self, graph_seed):
+        rrg = random_rrg(10, 20, seed=graph_seed)
+        reference = ElasticSimulator(rrg, seed=graph_seed)
+        template = compiled_template_for(rrg, mode="elastic")
+        model = template.instantiate(rrg.token_vector(), rrg.buffer_vector())
+        vectorized = VectorSimulator(model, seeds=[graph_seed])
+        for cycle in range(300):
+            count_ref = reference.step()
+            mask = vectorized.step(record=True)
+            assert count_ref == int(mask[0].sum()), f"cycle {cycle}"
+            markings_ref = [
+                reference.circuit.edges[i].channel.marking
+                for i in range(rrg.num_edges)
+            ]
+            assert (np.asarray(markings_ref) == vectorized.marking[0]).all()
+        for position, node in enumerate(rrg.nodes):
+            assert (
+                reference.circuit.controllers[node.name].firings
+                == vectorized.firings[0][position]
+            )
+
+    def test_wrapper_bit_identical_to_reference(self):
+        for rrg in (figure1b_rrg(0.5), figure2_rrg(0.7)):
+            vector = simulate_elastic_throughput(
+                rrg, cycles=3000, seed=5, use_cache=False
+            )
+            reference = simulate_elastic_throughput(
+                rrg, cycles=3000, seed=5, engine="reference"
+            )
+            assert vector == reference
+
+
+class TestAgainstExactThroughput:
+    @pytest.mark.parametrize("alpha", [0.5, 0.8])
+    def test_figure2_analytic(self, alpha):
+        expected = figure2_expected_throughput(alpha)
+        assert exact_throughput(figure2_rrg(alpha)).throughput == pytest.approx(
+            expected, abs=1e-6
+        )
+        value = simulate_throughput(figure2_rrg(alpha), cycles=30000, seed=2)
+        assert value == pytest.approx(expected, abs=0.02)
+
+    def test_ring_exact(self):
+        ring = ring_rrg(length=5, total_tokens=2)
+        value = simulate_throughput(ring, cycles=4000, seed=0, use_cache=False)
+        assert value == pytest.approx(2.0 / 5.0, abs=0.01)
+
+
+class TestBatchAPI:
+    def _variant_configurations(self, rrg, count=4):
+        base = RRConfiguration.identity(rrg)
+        configurations = [base]
+        for variant in range(1, count):
+            buffers = base.buffer_vector()
+            for edge in rrg.edges:
+                if edge.index % count == variant:
+                    buffers[edge.index] += 1
+            configurations.append(
+                RRConfiguration(rrg, RetimingVector({}), buffers, label=f"v{variant}")
+            )
+        return configurations
+
+    @pytest.mark.parametrize("count", [3, 8])
+    def test_batch_matches_serial_single_runs(self, count):
+        # count=3 exercises the event-driven path, count=8 the wavefront.
+        rrg = random_rrg(10, 20, seed=8)
+        configurations = self._variant_configurations(rrg, count=count)
+        batched = simulate_configurations(
+            configurations, cycles=1500, seed=4, use_cache=False
+        )
+        serial = [
+            simulate_throughput(c, cycles=1500, seed=4, use_cache=False)
+            for c in configurations
+        ]
+        assert batched == serial  # exact float equality, lane per lane
+
+    def test_batch_rejects_mixed_structures(self):
+        a = RRConfiguration.identity(random_rrg(8, 16, seed=1))
+        b = RRConfiguration.identity(random_rrg(8, 16, seed=2))
+        with pytest.raises(ValueError):
+            simulate_configurations([a, b], cycles=100)
+
+    def test_replicas(self):
+        rrg = figure2_rrg(0.8)
+        values = simulate_replicas(rrg, replicas=6, cycles=4000, seed=3)
+        assert values.shape == (6,)
+        assert values.mean() == pytest.approx(
+            figure2_expected_throughput(0.8), abs=0.05
+        )
+        # Replicas are independent draws, not copies of one lane.
+        assert len({round(v, 12) for v in values}) > 1
+
+    def test_throughput_cache_hits(self):
+        clear_caches()
+        rrg = figure1b_rrg(0.6)
+        config = RRConfiguration.identity(rrg)
+        first = simulate_throughput(config, cycles=1200, seed=9)
+        before = cache_stats()["throughput_hits"]
+        second = simulate_throughput(config, cycles=1200, seed=9)
+        assert second == first
+        assert cache_stats()["throughput_hits"] == before + 1
+        clear_caches()
+
+    def test_unseeded_runs_stay_independent(self):
+        clear_caches()
+        rrg = figure1b_rrg(0.6)
+        config = RRConfiguration.identity(rrg)
+        values = {simulate_throughput(config, cycles=400) for _ in range(4)}
+        # Independent random samples: caching them would collapse the set.
+        assert len(values) > 1
+        assert cache_stats()["throughput_hits"] == 0
+        clear_caches()
+
+
+class TestOptimizerSimulationPhase:
+    def test_min_eff_cyc_fills_throughputs(self):
+        from repro.core.milp import MilpSettings
+        from repro.core.optimizer import min_effective_cycle_time
+
+        rrg = figure2_rrg(0.8)
+        result = min_effective_cycle_time(
+            rrg,
+            k=3,
+            epsilon=0.05,
+            settings=MilpSettings(backend="pure"),
+            simulate_cycles=1500,
+            simulate_seed=11,
+        )
+        assert result.best_simulated is not None
+        assert all(point.throughput is not None for point in result.points)
+        assert result.best_simulated.effective_cycle_time == min(
+            point.effective_cycle_time for point in result.points
+        )
+
+
+class TestMarkovDeterminism:
+    def test_repeated_analysis_is_identical(self):
+        rrg = figure1b_rrg(0.5)
+        first = exact_throughput(rrg)
+        second = exact_throughput(rrg)
+        assert first.throughput == second.throughput
+        assert first.num_states == second.num_states
