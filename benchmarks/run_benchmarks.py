@@ -20,9 +20,12 @@ import argparse
 import math
 import datetime
 import json
+import os
 import platform
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -30,8 +33,10 @@ from repro.core.configuration import RRConfiguration, RetimingVector
 from repro.core.milp import MilpSettings, max_throughput, min_cycle_time
 from repro.core.optimizer import min_effective_cycle_time
 from repro.elastic.simulator import simulate_elastic_throughput
+from repro.experiments.table2 import run_table2
 from repro.gmg.simulation import simulate_throughput
 from repro.sim.batch import simulate_configurations, simulate_replicas
+from repro.sim.cache import clear_caches
 from repro.workloads.examples import figure1a_rrg, figure2_rrg, unbalanced_fork_join
 from repro.workloads.random_rrg import random_rrg
 
@@ -141,6 +146,37 @@ def _sim_replicas(rrg):
     return {"replicas": 64, "mean_throughput": round(float(values.mean()), 4)}
 
 
+# Table 2-class sweep used by the pipeline workloads: large enough that the
+# MILP work dominates, small enough that three variants stay a smoke test.
+_SWEEP = dict(
+    scale=0.2,
+    names=["s27", "s208", "s420", "s382", "s526", "s400"],
+    epsilon=0.05,
+    cycles=2000,
+    settings=MilpSettings(time_limit=30),
+)
+
+
+def _sweep_summary(rows):
+    return {
+        "benchmarks": len(rows),
+        "mean_xi_sim": round(sum(r.xi_sim_min for r in rows) / len(rows), 4),
+    }
+
+
+def _pipeline_serial():
+    # Start cold: without this, repeat 2+ of the serial entry would serve
+    # every simulation from the process-global throughput cache while sharded
+    # repeats pay it in fresh workers, skewing the serial/sharded ratio.
+    clear_caches()
+    return _sweep_summary(run_table2(shards=1, **_SWEEP))
+
+
+def _pipeline_sharded(shards, store=None):
+    clear_caches()
+    return _sweep_summary(run_table2(shards=shards, store=store, **_SWEEP))
+
+
 def _workloads():
     fig1a = figure1a_rrg(0.9)
     fork_join = unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0)
@@ -160,6 +196,19 @@ def _workloads():
     yield "sim_elastic_midsize", lambda: _sim_elastic(recycled)
     yield "sim_pareto_sweep_k8", lambda: _sim_sweep(candidates)
     yield "sim_replicas_figure2_x64", lambda: _sim_replicas(figure2_rrg(0.8))
+
+    # Pipeline workloads: the same Table 2-class sweep run serially, sharded
+    # over a process pool, and replayed from a populated artifact store.  The
+    # serial entry is the baseline the sharded one must beat on wall-clock;
+    # the cached entry shows what a re-run costs once the store is warm.
+    yield "pipeline_sweep_serial", _pipeline_serial
+    yield "pipeline_sweep_sharded4", lambda: _pipeline_sharded(4)
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        _pipeline_sharded(4, store=store_dir)  # populate, untimed
+        yield "pipeline_sweep_cached", lambda: _pipeline_sharded(4, store=store_dir)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
     try:
         import scipy  # noqa: F401
@@ -197,6 +246,17 @@ def main(argv=None) -> int:
             speedup = f"  ({SEED_BASELINE[name] / elapsed:.1f}x vs seed)"
         print(f"{name}: {elapsed:.3f}s{speedup}")
 
+    serial = results.get("pipeline_sweep_serial", {}).get("seconds")
+    cpus = os.cpu_count() or 1
+    if serial:
+        for variant in ("pipeline_sweep_sharded4", "pipeline_sweep_cached"):
+            seconds = results.get(variant, {}).get("seconds")
+            if seconds:
+                print(f"{variant}: {serial / seconds:.1f}x vs serial sweep")
+        if cpus < 2:
+            print("note: single-CPU host — shards serialize; the sharded "
+                  "speedup only shows on multi-core machines")
+
     try:
         import numpy
 
@@ -214,6 +274,7 @@ def main(argv=None) -> int:
         "date": datetime.date.today().isoformat(),
         "git_revision": _git_revision(),
         "python": platform.python_version(),
+        "cpus": cpus,
         "numpy": numpy_version,
         "scipy": scipy_version,
         "seed_baseline_seconds": SEED_BASELINE,

@@ -11,6 +11,7 @@ Run with::
 
     python examples/iscas_optimization.py
     python examples/iscas_optimization.py --circuits s27 s208 s382 --scale 0.5
+    python examples/iscas_optimization.py --shards 4 --store .repro-store
 """
 
 import argparse
@@ -18,7 +19,7 @@ import argparse
 from repro.core.milp import MilpSettings
 from repro.core.optimizer import min_effective_cycle_time
 from repro.elastic.verilog import generate_verilog
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import event_printer, format_table
 from repro.experiments.table2 import average_improvement, run_table2, table2_as_rows
 from repro.workloads.iscas_like import SPEC_BY_NAME, iscas_like_rrg, scaled_spec
 
@@ -30,6 +31,10 @@ def main() -> None:
                         help="Table 2 circuit names to run")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="graph size multiplier (1.0 = published sizes)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker processes for the sweep (1 = serial)")
+    parser.add_argument("--store", default=None,
+                        help="persistent artifact store directory")
     args = parser.parse_args()
 
     rows = run_table2(
@@ -38,6 +43,9 @@ def main() -> None:
         epsilon=0.05,
         cycles=4000,
         settings=MilpSettings(time_limit=60),
+        shards=args.shards,
+        store=args.store,
+        events=event_printer(),
     )
     headers = ["name", "|N1|", "|N2|", "|E|", "xi*", "xi_nee", "xi_lp", "xi_sim", "I%"]
     print(format_table(headers, table2_as_rows(rows)))

@@ -12,12 +12,14 @@ Run with::
 
 from repro import min_effective_cycle_time, exact_throughput
 from repro.experiments.motivational import run_motivational
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import event_printer, format_table
 from repro.workloads.examples import figure1a_rrg, figure2_expected_throughput
 
 
 def main() -> None:
-    rows = run_motivational(alphas=(0.5, 0.9), cycles=20000, seed=1)
+    rows = run_motivational(
+        alphas=(0.5, 0.9), cycles=20000, seed=1, events=event_printer()
+    )
     table = [
         (
             f"Figure {row.figure}",

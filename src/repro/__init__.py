@@ -17,9 +17,15 @@ The package is organised as:
 * :mod:`repro.retiming` — classical Leiserson-Saxe retiming baselines;
 * :mod:`repro.elastic` — the structural elastic-circuit substrate (SELF
   controllers, cycle-accurate simulation, Verilog emission);
-* :mod:`repro.workloads` — example graphs and the random benchmark generator;
+* :mod:`repro.workloads` — example graphs, the random benchmark generator
+  and the scenario registry;
+* :mod:`repro.pipeline` — the declarative experiment pipeline: Build /
+  Optimize / Simulate / Report stages, the sharded runner, the persistent
+  artifact store and structured progress events;
 * :mod:`repro.experiments` — drivers regenerating the paper's tables and
-  figures.
+  figures as thin pipeline declarations;
+* :mod:`repro.cli` — the ``python -m repro`` command line (``run``,
+  ``list-scenarios``, ``report``).
 
 Quickstart::
 

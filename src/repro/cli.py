@@ -1,0 +1,404 @@
+"""The ``repro`` command line: reproduce the paper through the pipeline.
+
+Subcommands:
+
+* ``list-scenarios`` — every registered workload scenario;
+* ``run <target>`` — run an experiment preset (``motivational``, ``table1``,
+  ``table2``, ``table2-small``, ``ablations``) or any registry scenario as a
+  sharded pipeline sweep;
+* ``report <file>`` — re-render the tables of a saved run result.
+
+Examples::
+
+    python -m repro list-scenarios
+    python -m repro run motivational
+    python -m repro run table2-small --shards 2 --store .repro-store
+    python -m repro run table2 --names s27 s382 --scale 0.25 --shards 4
+    python -m repro run figure1a --param alpha=0.9
+    python -m repro run table1 --output table1.json
+    python -m repro report table1.json
+
+Every ``run`` accepts ``--shards`` (process-parallel sweep), ``--store``
+(persistent artifact cache: a second identical run is pure disk hits) and
+``--seed`` (the root seed all per-job seeds derive from, so serial and
+sharded runs print identical tables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.milp import MilpSettings
+from repro.experiments.ablations import (
+    average_error,
+    early_evaluation_placement_study,
+    lp_error_study,
+)
+from repro.experiments.motivational import run_motivational
+from repro.experiments.reporting import event_printer, format_table
+from repro.experiments.table1 import (
+    table1_as_rows,
+    table1_from_payload,
+    table1_job,
+)
+from repro.experiments.table2 import (
+    average_improvement,
+    run_table2,
+    table2_as_rows,
+)
+from repro.pipeline.events import EventLog
+from repro.pipeline.runner import run_jobs
+from repro.pipeline.stages import BuildSpec, Job, OptimizeParams, SimulateParams
+from repro.workloads.examples import figure1a_rrg
+from repro.workloads.registry import (
+    ScenarioError,
+    has_scenario,
+    list_scenarios,
+    scenario,
+)
+
+#: run targets that are not plain registry scenarios.
+EXPERIMENT_TARGETS = (
+    "motivational",
+    "table1",
+    "table2",
+    "table2-small",
+    "ablations",
+)
+
+TABLE1_HEADERS = ["name", "tau", "Theta_lp", "Theta", "err%", "xi_lp", "xi"]
+TABLE2_HEADERS = [
+    "name", "|N1|", "|N2|", "|E|", "xi*", "xi_nee", "xi_lp", "xi_sim", "I%",
+]
+
+
+def _parse_param(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _scenario_params(items: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        params[key] = _parse_param(value)
+    return params
+
+
+def _events(args: argparse.Namespace, log: EventLog):
+    printer = event_printer()
+
+    def observe(event) -> None:
+        log(event)
+        if not args.quiet:
+            printer(event)
+
+    return observe
+
+
+def _settings(args: argparse.Namespace) -> MilpSettings:
+    return MilpSettings(time_limit=args.time_limit)
+
+
+def _result(
+    target: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    summary: Dict[str, Any],
+) -> Dict[str, Any]:
+    return {
+        "target": target,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "summary": summary,
+    }
+
+
+def _run_motivational(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
+    rows = run_motivational(
+        alphas=tuple(args.alphas or (0.5, 0.9)),
+        cycles=args.cycles or 20000,
+        seed=args.seed if args.seed is not None else 1,
+        shards=args.shards,
+        store=args.store,
+        events=_events(args, log),
+    )
+    formatted = [
+        (
+            f"Figure {row.figure}",
+            row.alpha,
+            round(row.cycle_time, 2),
+            round(row.exact, 4),
+            round(row.simulated, 4),
+            round(row.lp_bound, 4),
+            "-" if row.expected is None else round(row.expected, 4),
+        )
+        for row in rows
+    ]
+    headers = ["config", "alpha", "tau", "Theta", "Theta_sim", "Theta_lp", "paper"]
+    return _result("motivational", headers, formatted, {})
+
+
+def _run_table1(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
+    circuit = (args.names or ["s526"])[0]
+    # --seed is the root: it moves both graph generation and the simulation
+    # lanes (defaults reproduce examples/pareto_exploration.py).
+    job = table1_job(
+        BuildSpec.from_scenario(
+            "iscas",
+            name=circuit,
+            scale=args.scale if args.scale is not None else 0.4,
+            seed=args.seed if args.seed is not None else 42,
+        ),
+        epsilon=args.epsilon or 0.05,
+        cycles=args.cycles or 4000,
+        seed=args.seed if args.seed is not None else 7,
+        settings=_settings(args),
+        job_id=circuit,
+    )
+    payload = run_jobs(
+        [job], shards=args.shards, store=args.store, events=_events(args, log)
+    )[0]
+    result = table1_from_payload(payload)
+    return _result(
+        "table1",
+        TABLE1_HEADERS,
+        table1_as_rows(result),
+        {"delta_percent": round(result.delta_percent, 3)},
+    )
+
+
+def _run_table2(args: argparse.Namespace, log: EventLog, small: bool) -> Dict[str, Any]:
+    if small:
+        defaults = {"scale": 0.15, "names": ["s27", "s208", "s420"],
+                    "epsilon": 0.1, "cycles": 1500}
+    else:
+        defaults = {"scale": 0.25, "names": None, "epsilon": 0.05, "cycles": 4000}
+    rows = run_table2(
+        scale=args.scale if args.scale is not None else defaults["scale"],
+        names=args.names or defaults["names"],
+        epsilon=args.epsilon or defaults["epsilon"],
+        cycles=args.cycles or defaults["cycles"],
+        seed=args.seed if args.seed is not None else 2009,
+        settings=_settings(args),
+        shards=args.shards,
+        store=args.store,
+        events=_events(args, log),
+    )
+    return _result(
+        "table2-small" if small else "table2",
+        TABLE2_HEADERS,
+        table2_as_rows(rows),
+        {"average_improvement_percent": round(average_improvement(rows), 3)},
+    )
+
+
+def _run_ablations(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
+    events = _events(args, log)
+    placement = early_evaluation_placement_study(
+        epsilon=args.epsilon or 0.02,
+        cycles=args.cycles or 4000,
+        seed=args.seed if args.seed is not None else 3,
+        settings=_settings(args),
+        shards=args.shards,
+        store=args.store,
+        events=events,
+    )
+    samples = lp_error_study(
+        [figure1a_rrg(0.8)],
+        epsilon=0.1,
+        cycles=args.cycles or 4000,
+        seed=args.seed if args.seed is not None else 5,
+        settings=_settings(args),
+        shards=args.shards,
+        store=args.store,
+        events=events,
+    )
+    rows = [
+        ("placement: I% with early join", round(placement.improvement_with_early, 2)),
+        ("placement: I% without early join",
+         round(placement.improvement_without_early, 2)),
+        ("LP bound: samples", len(samples)),
+        ("LP bound: average |err|%", round(average_error(samples), 2)),
+    ]
+    return _result("ablations", ["observation", "value"], rows, {})
+
+
+def _run_scenario(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
+    params = _scenario_params(args.param or [])
+    # --seed is the root: when the scenario generates from a seed and the
+    # user did not pin one with --param seed=..., the root seed drives it.
+    if args.seed is not None and "seed" not in params and (
+        "seed" in scenario(args.target).defaults
+    ):
+        params["seed"] = args.seed
+    job = Job(
+        job_id=args.target,
+        build=BuildSpec(scenario=args.target, params=params),
+        optimize=OptimizeParams.from_settings(
+            _settings(args), k=5, epsilon=args.epsilon or 0.05
+        ),
+        simulate=SimulateParams(
+            cycles=args.cycles or 4000,
+            seed=args.seed if args.seed is not None else 7,
+        ),
+    )
+    payload = run_jobs(
+        [job], shards=args.shards, store=args.store, events=_events(args, log)
+    )[0]
+    result = table1_from_payload(payload)
+    return _result(
+        args.target,
+        TABLE1_HEADERS,
+        table1_as_rows(result),
+        {"delta_percent": round(result.delta_percent, 3)},
+    )
+
+
+def _render_result(result: Dict[str, Any], stream) -> None:
+    print(format_table(result["headers"], result["rows"]), file=stream, end="")
+    for key, value in result.get("summary", {}).items():
+        print(f"{key}: {value}", file=stream)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    target = args.target
+    log = EventLog()
+    if target == "motivational":
+        result = _run_motivational(args, log)
+    elif target == "table1":
+        result = _run_table1(args, log)
+    elif target in ("table2", "table2-small"):
+        result = _run_table2(args, log, small=target.endswith("small"))
+    elif target == "ablations":
+        result = _run_ablations(args, log)
+    elif has_scenario(target):
+        result = _run_scenario(args, log)
+    else:
+        known = ", ".join(EXPERIMENT_TARGETS)
+        print(
+            f"unknown target {target!r}; expected one of {known} "
+            "or a scenario name (see list-scenarios)",
+            file=sys.stderr,
+        )
+        return 2
+    _render_result(result, sys.stdout)
+    if args.store is not None and not args.quiet:
+        done = len(log.of_kind("job-done"))
+        print(f"store: {log.cached_jobs}/{done} job(s) served from {args.store}")
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        if not args.quiet:
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    specs = list_scenarios(family=args.family, tag=args.tag)
+    rows = [
+        (
+            spec.name,
+            spec.family,
+            ",".join(f"{k}={v}" for k, v in sorted(spec.defaults.items())),
+            spec.description,
+        )
+        for spec in specs
+    ]
+    print(format_table(["scenario", "family", "defaults", "description"], rows),
+          end="")
+    print(f"{len(specs)} scenario(s); run one with: python -m repro run <scenario>")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    try:
+        result = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read result file {path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(result, dict) or "headers" not in result:
+        print(f"{path} is not a repro run result", file=sys.stderr)
+        return 2
+    print(f"target: {result.get('target', '?')}")
+    _render_result(result, sys.stdout)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an experiment preset or scenario")
+    run.add_argument("target", help="experiment preset or scenario name")
+    run.add_argument("--shards", type=int, default=1,
+                     help="worker processes (default 1 = serial)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="root seed (default: the experiment's published seed)")
+    run.add_argument("--store", default=None,
+                     help="persistent artifact store directory")
+    run.add_argument("--cycles", type=int, default=None,
+                     help="simulation cycles per configuration")
+    run.add_argument("--epsilon", type=float, default=None,
+                     help="MIN_EFF_CYC throughput step")
+    run.add_argument("--scale", type=float, default=None,
+                     help="benchmark size multiplier (table1/table2)")
+    run.add_argument("--names", nargs="+", default=None,
+                     help="circuit subset (table2) or circuit (table1)")
+    run.add_argument("--alphas", nargs="+", type=float, default=None,
+                     help="alpha values (motivational)")
+    run.add_argument("--time-limit", type=float, default=60.0,
+                     help="MILP time limit in seconds (default 60)")
+    run.add_argument("--param", action="append", default=None,
+                     metavar="KEY=VALUE",
+                     help="scenario parameter override (repeatable)")
+    run.add_argument("--output", default=None,
+                     help="write the run result as JSON to this file")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress progress events")
+    run.set_defaults(func=cmd_run)
+
+    ls = sub.add_parser("list-scenarios", help="list registered scenarios")
+    ls.add_argument("--family", default=None,
+                    help="filter by family (example/iscas/random/ablation)")
+    ls.add_argument("--tag", default=None, help="filter by tag")
+    ls.set_defaults(func=cmd_list_scenarios)
+
+    rep = sub.add_parser("report", help="re-render a saved run result")
+    rep.add_argument("file", help="result JSON written by `run --output`")
+    rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed mid-table (e.g. `... | head`); exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

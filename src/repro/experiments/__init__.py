@@ -10,8 +10,15 @@
 * :mod:`repro.experiments.ablations` — the observations of Section 5
   (improvement requires early-evaluation nodes on critical cycles; LP bound
   error grows with the number of bubbles).
-* :mod:`repro.experiments.reporting` — plain-text table rendering shared by
-  the examples and the benchmark harness.
+* :mod:`repro.experiments.reporting` — plain-text rendering of result tables
+  and pipeline progress events, shared by the CLI, the examples and the
+  benchmark harness.
+
+Every experiment is a thin declaration over :mod:`repro.pipeline`: it builds
+picklable jobs (scenario + stage parameters), hands them to the sharded
+runner and reduces the returned payloads into its public dataclasses, so all
+entry points accept ``shards=N`` / ``store=...`` / ``events=...`` (or expose
+``*_job``/``*_from_payload`` pairs) without changing their results.
 """
 
 from repro.experiments.motivational import MotivationalRow, run_motivational
@@ -23,7 +30,7 @@ from repro.experiments.ablations import (
     early_evaluation_placement_study,
     lp_error_study,
 )
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import event_printer, format_table, render_event
 
 __all__ = [
     "MotivationalRow",
@@ -37,4 +44,6 @@ __all__ = [
     "early_evaluation_placement_study",
     "lp_error_study",
     "format_table",
+    "render_event",
+    "event_printer",
 ]

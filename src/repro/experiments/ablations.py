@@ -6,21 +6,30 @@
   not help (I% = 0 for s832, s1488, s1494 in the paper).
 * Observation 3: the LP throughput bound is optimistic and its error grows
   with the number of inserted bubbles (average ~12.5 % in the paper).
+
+Both studies are declarative pipeline jobs: the placement study is a
+two-job sweep (the same fork/join loop with and without its early join), the
+LP-error study one job per input graph with bound recomputation enabled.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.core.milp import MilpSettings
-from repro.core.optimizer import min_effective_cycle_time
 from repro.core.rrg import RRG
-from repro.core.throughput import configuration_throughput_bound
-from repro.retiming.late_evaluation import late_evaluation_baseline
-from repro.sim.batch import simulate_configurations
-from repro.workloads.examples import unbalanced_fork_join
+from repro.pipeline.events import EventCallback
+from repro.pipeline.runner import StoreLike, run_jobs
+from repro.pipeline.stages import (
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+    best_simulated_xi,
+    improvement_percent,
+)
 
 
 @dataclass
@@ -36,25 +45,32 @@ class EarlyPlacementResult:
     improvement_without_early: float
 
 
-def _improvement(rrg: RRG, epsilon: float, cycles: int, seed: int,
-                 settings: Optional[MilpSettings]) -> float:
-    baseline = late_evaluation_baseline(
-        rrg, epsilon=epsilon, settings=settings, full_search=False
+def improvement_job(
+    build: BuildSpec,
+    epsilon: float,
+    cycles: int,
+    seed: int,
+    settings: Optional[MilpSettings],
+    job_id: str,
+) -> Job:
+    """One I%-style job: baseline + MIN_EFF_CYC(k=3) + candidate simulation."""
+    return Job(
+        job_id=job_id,
+        build=build,
+        optimize=OptimizeParams.from_settings(
+            settings, k=3, epsilon=epsilon, baseline=True
+        ),
+        simulate=SimulateParams(cycles=cycles, seed=seed),
     )
-    result = min_effective_cycle_time(rrg, k=3, epsilon=epsilon, settings=settings)
-    best_xi = baseline.effective_cycle_time
-    throughputs = simulate_configurations(
-        [point.configuration for point in result.points], cycles=cycles, seed=seed
-    )
-    for point, throughput in zip(result.points, throughputs):
-        if throughput > 0:
-            best_xi = min(best_xi, point.cycle_time / throughput)
-    if baseline.effective_cycle_time <= 0:
+
+
+def improvement_from_payload(payload: Mapping[str, object]) -> float:
+    """I% of one job: best simulated candidate against the late baseline."""
+    xi_late = payload["baseline"]["effective_cycle_time"]
+    if xi_late <= 0:
         return math.nan
-    return (
-        (baseline.effective_cycle_time - best_xi)
-        / baseline.effective_cycle_time
-        * 100.0
+    return improvement_percent(
+        xi_late, best_simulated_xi(payload, floor=xi_late)
     )
 
 
@@ -65,6 +81,9 @@ def early_evaluation_placement_study(
     cycles: int = 4000,
     seed: int = 3,
     settings: Optional[MilpSettings] = None,
+    shards: int = 1,
+    store: StoreLike = None,
+    events: Optional[EventCallback] = None,
 ) -> EarlyPlacementResult:
     """Observation 1 on a controlled fork/join loop.
 
@@ -74,17 +93,19 @@ def early_evaluation_placement_study(
     improvement should be clearly positive; without it the improvement
     collapses to (almost) zero.
     """
-    with_early = unbalanced_fork_join(
-        alpha=alpha, long_branch_delay=long_branch_delay, name="fork-join-early"
-    )
-    without_early = with_early.as_late_evaluation("fork-join-late")
+    jobs = [
+        improvement_job(
+            BuildSpec.from_scenario(
+                scenario, alpha=alpha, long_branch_delay=long_branch_delay
+            ),
+            epsilon, cycles, seed, settings, job_id=scenario,
+        )
+        for scenario in ("fork-join-early", "fork-join-late")
+    ]
+    payloads = run_jobs(jobs, shards=shards, store=store, events=events)
     return EarlyPlacementResult(
-        improvement_with_early=_improvement(
-            with_early, epsilon, cycles, seed, settings
-        ),
-        improvement_without_early=_improvement(
-            without_early, epsilon, cycles, seed, settings
-        ),
+        improvement_with_early=improvement_from_payload(payloads[0]),
+        improvement_without_early=improvement_from_payload(payloads[1]),
     )
 
 
@@ -104,12 +125,34 @@ class LpErrorSample:
         return (self.throughput_bound - self.throughput) / self.throughput * 100.0
 
 
+def lp_error_samples_from_payload(
+    payload: Mapping[str, object],
+) -> List[LpErrorSample]:
+    """Per-configuration bound-error samples of one job (Report stage)."""
+    name = payload["graph"]["name"]
+    points = payload["optimize"]["points"]
+    throughputs = payload["simulate"]["throughputs"]
+    bounds = payload["simulate"]["bounds"]
+    return [
+        LpErrorSample(
+            name=name,
+            bubbles=point["bubbles"],
+            throughput_bound=bound,
+            throughput=throughput,
+        )
+        for point, bound, throughput in zip(points, bounds, throughputs)
+    ]
+
+
 def lp_error_study(
     rrgs: Sequence[RRG],
     epsilon: float = 0.05,
     cycles: int = 4000,
     seed: int = 5,
     settings: Optional[MilpSettings] = None,
+    shards: int = 1,
+    store: StoreLike = None,
+    events: Optional[EventCallback] = None,
 ) -> List[LpErrorSample]:
     """Measure the LP bound error over every non-dominated configuration.
 
@@ -117,24 +160,24 @@ def lp_error_study(
     typically correlate :attr:`LpErrorSample.bubbles` with
     :attr:`LpErrorSample.error_percent`.
     """
-    samples: List[LpErrorSample] = []
-    for rrg in rrgs:
-        result = min_effective_cycle_time(rrg, k=3, epsilon=epsilon, settings=settings)
-        throughputs = simulate_configurations(
-            [point.configuration for point in result.points],
-            cycles=cycles,
-            seed=seed,
+    jobs = [
+        Job(
+            job_id=f"lp-error-{index}-{rrg.name}",
+            build=BuildSpec.from_rrg(rrg),
+            optimize=OptimizeParams.from_settings(settings, k=3, epsilon=epsilon),
+            # recompute_bounds re-derives Theta_lp per stored configuration
+            # with the default backend, independently of the warm-started
+            # bound the optimizer tracked during its walk.
+            simulate=SimulateParams(
+                cycles=cycles, seed=seed, recompute_bounds=True
+            ),
         )
-        for point, throughput in zip(result.points, throughputs):
-            bound = configuration_throughput_bound(point.configuration)
-            samples.append(
-                LpErrorSample(
-                    name=rrg.name,
-                    bubbles=point.configuration.total_bubbles,
-                    throughput_bound=bound,
-                    throughput=throughput,
-                )
-            )
+        for index, rrg in enumerate(rrgs)
+    ]
+    payloads = run_jobs(jobs, shards=shards, store=store, events=events)
+    samples: List[LpErrorSample] = []
+    for payload in payloads:
+        samples.extend(lp_error_samples_from_payload(payload))
     return samples
 
 

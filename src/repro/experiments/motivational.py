@@ -12,23 +12,21 @@ for the three configurations of the figures:
 and checks them against the numbers quoted in the paper: throughput 0.491 at
 ``alpha = 0.5`` and 0.719 at ``alpha = 0.9`` for Figure 1(b), and
 ``1 / (3 - 2 alpha)`` for the optimal configuration of Figure 2.
+
+Each (figure, alpha) data point is one evaluate-only pipeline job (no
+Optimize stage — the figures *are* the configurations), so the whole study
+fans out across shards like any other sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
-from repro.analysis.cycle_time import cycle_time
-from repro.gmg.lp_bound import throughput_upper_bound
-from repro.gmg.markov import exact_throughput
-from repro.gmg.simulation import simulate_throughput
-from repro.workloads.examples import (
-    figure1a_rrg,
-    figure1b_rrg,
-    figure2_expected_throughput,
-    figure2_rrg,
-)
+from repro.pipeline.events import EventCallback
+from repro.pipeline.runner import StoreLike, run_jobs
+from repro.pipeline.stages import BuildSpec, Job, SimulateParams
+from repro.workloads.examples import figure2_expected_throughput
 
 
 @dataclass
@@ -61,31 +59,68 @@ class MotivationalRow:
 #: Throughputs quoted in Section 1.4 for Figure 1(b).
 PAPER_FIGURE1B_THROUGHPUT = {0.5: 0.491, 0.9: 0.719}
 
+#: (figure label, registry scenario) in the paper's presentation order.
+_FIGURES = (("1a", "figure1a"), ("1b", "figure1b"), ("2", "figure2"))
+
+
+def motivational_jobs(
+    alphas: Sequence[float] = (0.5, 0.9),
+    cycles: int = 20000,
+    seed: int = 1,
+) -> List[Job]:
+    """One evaluate-only job per (alpha, figure) pair."""
+    jobs: List[Job] = []
+    for alpha in alphas:
+        for figure, scenario in _FIGURES:
+            jobs.append(Job(
+                job_id=f"figure{figure}-alpha{alpha:g}",
+                build=BuildSpec.from_scenario(scenario, alpha=alpha),
+                simulate=SimulateParams(
+                    cycles=cycles, seed=seed, exact=True, lp_bound=True
+                ),
+                meta={"figure": figure, "alpha": alpha},
+            ))
+    return jobs
+
+
+def _expected(figure: str, alpha: float) -> Optional[float]:
+    if figure == "1b":
+        return PAPER_FIGURE1B_THROUGHPUT.get(round(alpha, 3))
+    if figure == "2":
+        return figure2_expected_throughput(alpha)
+    return None
+
+
+def motivational_row_from_payload(
+    payload: Mapping[str, object], meta: Mapping[str, object]
+) -> MotivationalRow:
+    """Reduce one evaluate-only payload to its table row (Report stage)."""
+    figure = str(meta["figure"])
+    alpha = float(meta["alpha"])
+    evaluate = payload["simulate"]
+    return MotivationalRow(
+        figure=figure,
+        alpha=alpha,
+        cycle_time=payload["graph"]["initial_cycle_time"],
+        exact=evaluate["exact"],
+        simulated=evaluate["simulated"],
+        lp_bound=evaluate["lp_bound"],
+        expected=_expected(figure, alpha),
+    )
+
 
 def run_motivational(
     alphas: Sequence[float] = (0.5, 0.9),
     cycles: int = 20000,
     seed: int = 1,
+    shards: int = 1,
+    store: StoreLike = None,
+    events: Optional[EventCallback] = None,
 ) -> List[MotivationalRow]:
     """Evaluate the three motivational configurations for each alpha."""
-    rows: List[MotivationalRow] = []
-    for alpha in alphas:
-        builders = {
-            "1a": (figure1a_rrg, None),
-            "1b": (figure1b_rrg, PAPER_FIGURE1B_THROUGHPUT.get(round(alpha, 3))),
-            "2": (figure2_rrg, figure2_expected_throughput(alpha)),
-        }
-        for figure, (builder, expected) in builders.items():
-            rrg = builder(alpha)
-            rows.append(
-                MotivationalRow(
-                    figure=figure,
-                    alpha=alpha,
-                    cycle_time=cycle_time(rrg),
-                    exact=exact_throughput(rrg).throughput,
-                    simulated=simulate_throughput(rrg, cycles=cycles, seed=seed),
-                    lp_bound=throughput_upper_bound(rrg),
-                    expected=expected,
-                )
-            )
-    return rows
+    jobs = motivational_jobs(alphas=alphas, cycles=cycles, seed=seed)
+    payloads = run_jobs(jobs, shards=shards, store=store, events=events)
+    return [
+        motivational_row_from_payload(payload, job.meta)
+        for payload, job in zip(payloads, jobs)
+    ]

@@ -1,8 +1,18 @@
-"""Plain-text table rendering for experiment results."""
+"""Plain-text rendering of experiment results and pipeline progress.
+
+Experiments themselves no longer print: they emit structured
+:class:`~repro.pipeline.events.PipelineEvent` records through the runner's
+callback.  This module renders those events (and result tables) as text for
+the CLI and the example scripts; other consumers can aggregate the same
+events however they like.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import sys
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+from repro.pipeline import events as ev
 
 
 def format_table(
@@ -43,3 +53,38 @@ def format_table(
         if index == 0:
             lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
     return "\n".join(lines) + "\n"
+
+
+def render_event(event: ev.PipelineEvent) -> Optional[str]:
+    """One line of text for a pipeline event (None for events not rendered).
+
+    Job-start events are skipped — in a sharded run every job "starts" at
+    submission time, so rendering them would only double the output.
+    """
+    if event.kind == ev.PIPELINE_START:
+        mode = "serial" if (event.shards or 1) <= 1 else f"{event.shards} shards"
+        return f"pipeline: {event.total} job(s), {mode}"
+    if event.kind == ev.JOB_DONE:
+        suffix = " (cached)" if event.cached else ""
+        seconds = f" in {event.seconds:.2f}s" if event.seconds is not None else ""
+        return f"[{event.index}/{event.total}] {event.job_id}: done{seconds}{suffix}"
+    if event.kind == ev.JOB_FAILED:
+        return f"[{event.index}/{event.total}] {event.job_id}: FAILED {event.message}"
+    if event.kind == ev.FALLBACK:
+        return f"pipeline: {event.message}"
+    if event.kind == ev.PIPELINE_DONE:
+        seconds = f" in {event.seconds:.2f}s" if event.seconds is not None else ""
+        return f"pipeline: finished {event.total} job(s){seconds}"
+    return None
+
+
+def event_printer(stream: Optional[TextIO] = None) -> ev.EventCallback:
+    """An event callback that prints rendered events (the CLI's observer)."""
+    output = stream if stream is not None else sys.stdout
+
+    def _print(event: ev.PipelineEvent) -> None:
+        line = render_event(event)
+        if line is not None:
+            print(line, file=output, flush=True)
+
+    return _print

@@ -11,18 +11,28 @@ configuration reports the columns of Table 1:
   simulation,
 * ``Delta%`` — how much worse the bound-selected configuration (RC_lp_min) is
   compared with the simulation-selected one (RC_min).
+
+The experiment is a single Optimize+Simulate pipeline job; ``run_table1`` is
+the thin declaration over :mod:`repro.pipeline`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.core.milp import MilpSettings
-from repro.core.optimizer import OptimizationResult, min_effective_cycle_time
+from repro.core.optimizer import OptimizationResult
 from repro.core.rrg import RRG
-from repro.sim.batch import simulate_configurations
+from repro.pipeline.runner import run_jobs
+from repro.pipeline.stages import (
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+    optimization_from_payload,
+)
 
 
 @dataclass
@@ -60,13 +70,15 @@ class Table1Result:
         delta_percent: Relative gap between the effective cycle time of the
             bound-selected configuration and the simulation-selected one
             (the ``Delta%`` column; 0 when both coincide).
-        optimization: The raw optimiser output (configurations included).
+        optimization: The optimiser output with live configurations,
+            reconstructed from the pipeline payload (None when the reducer
+            was given no RRG to bind configurations to).
     """
 
     name: str
     rows: List[Table1Row]
     delta_percent: float
-    optimization: OptimizationResult
+    optimization: Optional[OptimizationResult]
 
     @property
     def best_by_bound(self) -> Table1Row:
@@ -77,29 +89,39 @@ class Table1Result:
         return min(self.rows, key=lambda r: r.effective_cycle_time)
 
 
-def run_table1(
-    rrg: RRG,
+def table1_job(
+    build: BuildSpec,
     epsilon: float = 0.05,
     cycles: int = 5000,
     seed: int = 7,
     settings: Optional[MilpSettings] = None,
     k: int = 5,
-) -> Table1Result:
-    """Produce the Table 1 analysis for one benchmark RRG."""
-    result = min_effective_cycle_time(rrg, k=k, epsilon=epsilon, settings=settings)
-    rows: List[Table1Row] = []
-    throughputs = simulate_configurations(
-        [point.configuration for point in result.points], cycles=cycles, seed=seed
+    job_id: str = "table1",
+) -> Job:
+    """Declare the Table 1 pipeline job for one workload."""
+    return Job(
+        job_id=job_id,
+        build=build,
+        optimize=OptimizeParams.from_settings(settings, k=k, epsilon=epsilon),
+        simulate=SimulateParams(cycles=cycles, seed=seed),
     )
-    for point, throughput in zip(result.points, throughputs):
-        point.throughput = throughput
-        rows.append(
-            Table1Row(
-                cycle_time=point.cycle_time,
-                throughput_bound=point.throughput_bound,
-                throughput=throughput,
-            )
+
+
+def table1_from_payload(
+    payload: Mapping[str, object], rrg: Optional[RRG] = None
+) -> Table1Result:
+    """Reduce one job payload to the public Table 1 result (Report stage)."""
+    graph = payload["graph"]
+    points = payload["optimize"]["points"]
+    throughputs = payload["simulate"]["throughputs"]
+    rows = [
+        Table1Row(
+            cycle_time=point["cycle_time"],
+            throughput_bound=point["throughput_bound"],
+            throughput=throughput,
         )
+        for point, throughput in zip(points, throughputs)
+    ]
     rows.sort(key=lambda r: r.cycle_time)
 
     best_bound = min(rows, key=lambda r: r.effective_cycle_time_bound)
@@ -113,8 +135,35 @@ def run_table1(
     else:
         delta = math.nan
     return Table1Result(
-        name=rrg.name, rows=rows, delta_percent=delta, optimization=result
+        name=graph["name"],
+        rows=rows,
+        delta_percent=delta,
+        optimization=(
+            optimization_from_payload(payload, rrg) if rrg is not None else None
+        ),
     )
+
+
+def run_table1(
+    rrg: RRG,
+    epsilon: float = 0.05,
+    cycles: int = 5000,
+    seed: int = 7,
+    settings: Optional[MilpSettings] = None,
+    k: int = 5,
+) -> Table1Result:
+    """Produce the Table 1 analysis for one benchmark RRG."""
+    job = table1_job(
+        BuildSpec.from_rrg(rrg),
+        epsilon=epsilon,
+        cycles=cycles,
+        seed=seed,
+        settings=settings,
+        k=k,
+        job_id=rrg.name,
+    )
+    payload = run_jobs([job])[0]
+    return table1_from_payload(payload, rrg=rrg)
 
 
 def table1_as_rows(result: Table1Result) -> List[Sequence[object]]:

@@ -14,6 +14,13 @@ For every benchmark the experiment reports the columns of Table 2:
 * ``I%`` — the improvement of early evaluation over the late-evaluation
   baseline, ``(xi_nee - xi_sim_min) / xi_nee * 100``.
 
+The sweep is one pipeline job per benchmark (each a Build/Optimize/Simulate
+declaration over the ``iscas`` registry scenario), so ``run_table2`` fans out
+over shards and reuses the artifact store when asked to; per-benchmark seeds
+are derived from the root ``seed`` exactly as the serial harness always did
+(``seed + row_index`` for generation, the root seed for simulation), which
+keeps sharded and serial tables bit-identical.
+
 The paper runs the 18 ISCAS89-derived graphs at full size with a 20-minute
 CPLEX timeout per MILP; the default harness here scales the graphs down so
 the whole sweep completes in minutes, which preserves the qualitative
@@ -24,15 +31,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
-from repro.analysis.cycle_time import cycle_time
 from repro.core.milp import MilpSettings
-from repro.core.optimizer import min_effective_cycle_time
 from repro.core.rrg import RRG
-from repro.retiming.late_evaluation import late_evaluation_baseline
-from repro.sim.batch import simulate_configurations
-from repro.workloads.iscas_like import table2_benchmark_suite
+from repro.pipeline.events import EventCallback
+from repro.pipeline.runner import StoreLike, run_jobs
+from repro.pipeline.stages import (
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+    best_simulated_xi,
+)
+from repro.workloads.iscas_like import TABLE2_SPECS
 
 
 @dataclass
@@ -56,6 +68,60 @@ class Table2Row:
         return (self.xi_late - self.xi_sim_min) / self.xi_late * 100.0
 
 
+def table2_job(
+    build: BuildSpec,
+    epsilon: float = 0.05,
+    cycles: int = 4000,
+    seed: int = 11,
+    settings: Optional[MilpSettings] = None,
+    job_id: str = "table2",
+) -> Job:
+    """Declare the Table 2 pipeline job for one benchmark workload."""
+    return Job(
+        job_id=job_id,
+        build=build,
+        optimize=OptimizeParams.from_settings(
+            settings, k=5, epsilon=epsilon, baseline=True
+        ),
+        # The LP-preferred configuration is simulated as lane 0 next to every
+        # stored candidate, in one batched array program; the shared seed
+        # keeps each lane bit-identical to a serial run.
+        simulate=SimulateParams(cycles=cycles, seed=seed, include_best=True),
+    )
+
+
+def table2_row_from_payload(payload: Mapping[str, object]) -> Table2Row:
+    """Reduce one benchmark payload to its Table 2 row (Report stage)."""
+    graph = payload["graph"]
+    xi_late = payload["baseline"]["effective_cycle_time"]
+    best = payload["optimize"]["best"]
+    throughputs = payload["simulate"]["throughputs"]
+
+    # xi_lp_min: the configuration the LP bound prefers (lane 0).
+    lp_throughput = throughputs[0]
+    xi_lp_min = (
+        best["cycle_time"] / lp_throughput if lp_throughput > 0 else math.inf
+    )
+
+    # xi_sim_min: the best simulated candidate.  The floor encodes that early
+    # evaluation can only help: if sampling noise made the optimised system
+    # look worse than the LP pick or the late-evaluation baseline, fall back
+    # to those (their configurations are always available).
+    xi_sim_min = best_simulated_xi(payload, floor=min(xi_lp_min, xi_late))
+    xi_lp_min = min(xi_lp_min, xi_late)
+
+    return Table2Row(
+        name=graph["name"],
+        simple_nodes=graph["simple_nodes"],
+        early_nodes=graph["early_nodes"],
+        edges=graph["num_edges"],
+        xi_initial=graph["initial_cycle_time"],
+        xi_late=xi_late,
+        xi_lp_min=xi_lp_min,
+        xi_sim_min=xi_sim_min,
+    )
+
+
 def evaluate_benchmark(
     rrg: RRG,
     epsilon: float = 0.05,
@@ -64,51 +130,46 @@ def evaluate_benchmark(
     settings: Optional[MilpSettings] = None,
 ) -> Table2Row:
     """Compute one Table 2 row for a single RRG."""
-    initial_tau = cycle_time(rrg)
-
-    baseline = late_evaluation_baseline(
-        rrg, epsilon=epsilon, settings=settings, full_search=False
+    job = table2_job(
+        BuildSpec.from_rrg(rrg),
+        epsilon=epsilon,
+        cycles=cycles,
+        seed=seed,
+        settings=settings,
+        job_id=rrg.name,
     )
-    xi_late = baseline.effective_cycle_time
+    return table2_row_from_payload(run_jobs([job])[0])
 
-    result = min_effective_cycle_time(rrg, k=5, epsilon=epsilon, settings=settings)
-    # Simulate the LP-preferred configuration and every stored candidate in
-    # one batched array program (all configurations share the RRG structure,
-    # so they stack into the engine's 2-D state; the shared seed keeps each
-    # lane bit-identical to a serial run).
-    best_bound = result.best
-    candidates = [best_bound.configuration] + [p.configuration for p in result.points]
-    throughputs = simulate_configurations(candidates, cycles=cycles, seed=seed)
 
-    # xi_lp_min: the configuration the LP bound prefers.
-    lp_throughput = throughputs[0]
-    xi_lp_min = (
-        best_bound.cycle_time / lp_throughput if lp_throughput > 0 else math.inf
-    )
+def table2_jobs(
+    scale: float = 0.25,
+    names: Optional[Sequence[str]] = None,
+    epsilon: float = 0.05,
+    cycles: int = 4000,
+    seed: int = 2009,
+    settings: Optional[MilpSettings] = None,
+) -> List[Job]:
+    """One pipeline job per (selected) Table 2 benchmark.
 
-    # xi_sim_min: the best simulated candidate.
-    xi_sim_min = xi_lp_min
-    for point, throughput in zip(result.points, throughputs[1:]):
-        point.throughput = throughput
-        if throughput > 0:
-            xi_sim_min = min(xi_sim_min, point.cycle_time / throughput)
-
-    # Early evaluation can only help; if sampling noise made the optimised
-    # system look worse than the late-evaluation baseline, fall back to it
-    # (the baseline configuration is always available).
-    xi_sim_min = min(xi_sim_min, xi_late)
-    xi_lp_min = min(xi_lp_min, xi_late)
-
-    return Table2Row(
-        name=rrg.name,
-        simple_nodes=len(rrg.simple_nodes),
-        early_nodes=len(rrg.early_nodes),
-        edges=rrg.num_edges,
-        xi_initial=initial_tau,
-        xi_late=xi_late,
-        xi_lp_min=xi_lp_min,
-        xi_sim_min=xi_sim_min,
-    )
+    Per-benchmark generation seeds are ``seed + row_index`` with the row
+    index taken over the *full* published suite, so a subset sweep builds the
+    same graphs as the full one.
+    """
+    jobs: List[Job] = []
+    for offset, spec in enumerate(TABLE2_SPECS):
+        if names is not None and spec.name not in names:
+            continue
+        jobs.append(table2_job(
+            BuildSpec.from_scenario(
+                "iscas", name=spec.name, scale=scale, seed=seed + offset
+            ),
+            epsilon=epsilon,
+            cycles=cycles,
+            seed=seed,
+            settings=settings,
+            job_id=spec.name,
+        ))
+    return jobs
 
 
 def run_table2(
@@ -118,6 +179,9 @@ def run_table2(
     cycles: int = 4000,
     seed: int = 2009,
     settings: Optional[MilpSettings] = None,
+    shards: int = 1,
+    store: StoreLike = None,
+    events: Optional[EventCallback] = None,
 ) -> List[Table2Row]:
     """Run the Table 2 sweep over (a subset of) the benchmark suite.
 
@@ -127,18 +191,24 @@ def run_table2(
         names: Optional subset of circuit names.
         epsilon: Throughput step of the MIN_EFF_CYC loop.
         cycles: Simulation length per configuration.
-        seed: Base seed for graph generation.
+        seed: Root seed: graph generation uses ``seed + row_index``,
+            simulation uses ``seed`` on every lane, so results do not depend
+            on sharding.
         settings: MILP settings (time limits etc.).
+        shards: Worker processes for the sweep (1 = serial).
+        store: Optional persistent artifact store (path or ArtifactStore).
+        events: Optional structured progress callback.
     """
-    suite = table2_benchmark_suite(scale=scale, seed=seed, names=list(names) if names else None)
-    rows: List[Table2Row] = []
-    for name, rrg in suite.items():
-        rows.append(
-            evaluate_benchmark(
-                rrg, epsilon=epsilon, cycles=cycles, seed=seed, settings=settings
-            )
-        )
-    return rows
+    jobs = table2_jobs(
+        scale=scale,
+        names=list(names) if names else None,
+        epsilon=epsilon,
+        cycles=cycles,
+        seed=seed,
+        settings=settings,
+    )
+    payloads = run_jobs(jobs, shards=shards, store=store, events=events)
+    return [table2_row_from_payload(payload) for payload in payloads]
 
 
 def average_improvement(rows: Sequence[Table2Row]) -> float:

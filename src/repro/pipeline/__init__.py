@@ -1,0 +1,45 @@
+"""Declarative, process-parallel experiment pipeline.
+
+Every experiment is the same four-stage shape — Build a workload RRG,
+Optimize it (MIN_EFF_CYC), Simulate the candidate configurations, Report —
+so the pipeline models it as data:
+
+* :mod:`repro.pipeline.stages` — the stage protocol, picklable
+  :class:`~repro.pipeline.stages.Job` declarations and the payload format;
+* :mod:`repro.pipeline.runner` — serial or sharded execution with
+  deterministic seed derivation and graceful fallback;
+* :mod:`repro.pipeline.store` — the persistent content-addressed artifact
+  store shared across shards and invocations;
+* :mod:`repro.pipeline.events` — structured progress events replacing
+  ad-hoc prints.
+
+See ``docs/architecture.md`` for the layer boundaries and how to register a
+new scenario.
+"""
+
+from repro.pipeline.events import EventLog, PipelineEvent
+from repro.pipeline.runner import derive_seed, run_jobs
+from repro.pipeline.stages import (
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+    execute_job,
+    job_store_key,
+)
+from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
+
+__all__ = [
+    "ArtifactStore",
+    "BuildSpec",
+    "EventLog",
+    "Job",
+    "OptimizeParams",
+    "PipelineEvent",
+    "SimulateParams",
+    "attach_persistent_throughputs",
+    "derive_seed",
+    "execute_job",
+    "job_store_key",
+    "run_jobs",
+]

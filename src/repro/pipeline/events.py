@@ -1,0 +1,72 @@
+"""Structured progress events emitted by the pipeline runner.
+
+Experiments and the CLI observe a sweep through a stream of
+:class:`PipelineEvent` values instead of ad-hoc ``print`` calls: library
+callers can aggregate them silently, the CLI renders them with
+:func:`repro.experiments.reporting.render_event`, and tests assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional
+
+#: Event kinds, in the order a run emits them.
+PIPELINE_START = "pipeline-start"
+JOB_START = "job-start"
+JOB_DONE = "job-done"
+JOB_FAILED = "job-failed"
+FALLBACK = "fallback"
+PIPELINE_DONE = "pipeline-done"
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """One structured progress record.
+
+    Attributes:
+        kind: One of the module-level kind constants.
+        job_id: Identifier of the job concerned (None for run-level events).
+        index: 1-based position of the job in the submission order.
+        total: Total number of jobs in the run.
+        shards: Worker count of the run (1 = serial).
+        cached: True when the job result came from the artifact store.
+        seconds: Wall-clock duration (job- and pipeline-done events).
+        message: Human-readable detail (failures, fallback reasons).
+    """
+
+    kind: str
+    job_id: Optional[str] = None
+    index: Optional[int] = None
+    total: Optional[int] = None
+    shards: Optional[int] = None
+    cached: bool = False
+    seconds: Optional[float] = None
+    message: str = ""
+
+
+EventCallback = Callable[[PipelineEvent], None]
+
+
+@dataclass
+class EventLog:
+    """A callback that records every event (the default silent observer)."""
+
+    events: List[PipelineEvent] = field(default_factory=list)
+
+    def __call__(self, event: PipelineEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[PipelineEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    @property
+    def cached_jobs(self) -> int:
+        return sum(1 for event in self.of_kind(JOB_DONE) if event.cached)
+
+    def summary(self) -> Mapping[str, int]:
+        """Event counts by kind (diagnostics and tests)."""
+        counts: dict = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

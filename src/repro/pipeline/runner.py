@@ -1,0 +1,230 @@
+"""Sharded pipeline execution: fan jobs across processes, fall back to serial.
+
+:func:`run_jobs` is the single execution entry point for every experiment and
+the CLI.  It takes declarative :class:`~repro.pipeline.stages.Job` values
+(picklable by construction — scenario references, not builder callables),
+runs them serially or across a ``ProcessPoolExecutor``, and returns payloads
+in submission order.
+
+Determinism: jobs carry their own seeds, fixed at declaration time by
+:func:`derive_seed` from a root seed and stable labels — never from worker
+identity or completion order — so an N-shard run is bit-identical to a
+serial one.  When a :class:`~repro.pipeline.store.ArtifactStore` is given,
+each worker consults it before computing and publishes after, so shards
+share results across processes and a re-run only recomputes what changed.
+
+The parallel path degrades gracefully: if the platform cannot spawn workers
+(sandboxes without fork, broken pools mid-run), the runner emits a
+``fallback`` event and finishes the remaining jobs serially.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.pipeline import events as ev
+from repro.pipeline.stages import Job, execute_job, job_store_key
+from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
+from repro.sim import cache as _sim_cache
+
+StoreLike = Union[ArtifactStore, str, os.PathLike, None]
+
+
+def derive_seed(root_seed: int, *labels: Any) -> int:
+    """A deterministic child seed from a root seed and stable labels.
+
+    Hash-based splitting (rather than ``random.Random(root).randrange`` per
+    consumer) makes the child independent of how many siblings were derived
+    before it, so adding a job to a sweep never reshuffles the others and
+    shard assignment cannot matter.
+    """
+    text = repr((int(root_seed),) + labels)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+
+def _resolve_store(store: StoreLike) -> Optional[ArtifactStore]:
+    if store is None or isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
+
+
+def _run_one(
+    job: Job, store: Optional[ArtifactStore]
+) -> Tuple[Dict[str, Any], bool]:
+    """Execute one job, going through the store when one is configured.
+
+    Returns ``(payload, cached)``.
+    """
+    rrg = job.build.build()
+    if store is None:
+        return execute_job(job, rrg=rrg), False
+    key = job_store_key(job, rrg)
+    payload = store.get(key)
+    if payload is not None:
+        return payload, True
+    # Share fine-grained simulated throughputs across shards too: identical
+    # configurations reappearing in other jobs become disk hits.  Any backend
+    # the caller had installed globally is restored afterwards.
+    previous_backend = _sim_cache.persistent_backend()
+    attach_persistent_throughputs(store)
+    try:
+        payload = execute_job(job, rrg=rrg)
+    finally:
+        _sim_cache.set_persistent_backend(previous_backend)
+    store.put(key, payload)
+    return payload, False
+
+
+def _worker(
+    args: Tuple[Job, Optional[str]]
+) -> Tuple[Dict[str, Any], bool, float]:
+    """Pool entry point: run one job and report its compute time.
+
+    Timing happens here, in the worker, so JOB_DONE durations measure actual
+    execution rather than queue wait in a busy pool.  Top-level so process
+    pools can pickle it; each worker opens its own view of the store.
+    """
+    job, store_root = args
+    store = None if store_root is None else ArtifactStore(store_root)
+    started = time.perf_counter()
+    payload, cached = _run_one(job, store)
+    return payload, cached, time.perf_counter() - started
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    shards: int = 1,
+    store: StoreLike = None,
+    events: Optional[ev.EventCallback] = None,
+) -> List[Dict[str, Any]]:
+    """Run jobs and return their payloads in submission order.
+
+    Args:
+        jobs: Declarative job list (see :mod:`repro.pipeline.stages`).
+        shards: Worker processes; <= 1 runs serially in-process.
+        store: Artifact store (or its directory path) shared by all shards;
+            None disables persistence.
+        events: Structured progress callback; None ignores events.
+    """
+    jobs = list(jobs)
+    emit = events if events is not None else (lambda event: None)
+    resolved = _resolve_store(store)
+    store_root = None if resolved is None else str(resolved.root)
+    shards = max(1, int(shards))
+    effective = min(shards, len(jobs)) if jobs else 1
+
+    emit(ev.PipelineEvent(
+        kind=ev.PIPELINE_START, total=len(jobs), shards=effective
+    ))
+    started = time.perf_counter()
+    results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+
+    pending = list(range(len(jobs)))
+    if effective > 1:
+        pending = _run_sharded(jobs, pending, results, effective, store_root, emit)
+    for index in pending:
+        job = jobs[index]
+        emit(ev.PipelineEvent(
+            kind=ev.JOB_START, job_id=job.job_id, index=index + 1,
+            total=len(jobs), shards=1,
+        ))
+        job_started = time.perf_counter()
+        try:
+            payload, cached = _run_one(job, resolved)
+        except Exception as exc:
+            emit(ev.PipelineEvent(
+                kind=ev.JOB_FAILED, job_id=job.job_id, index=index + 1,
+                total=len(jobs), shards=1, message=repr(exc),
+            ))
+            raise
+        results[index] = payload
+        emit(ev.PipelineEvent(
+            kind=ev.JOB_DONE, job_id=job.job_id, index=index + 1,
+            total=len(jobs), shards=1, cached=cached,
+            seconds=time.perf_counter() - job_started,
+        ))
+
+    emit(ev.PipelineEvent(
+        kind=ev.PIPELINE_DONE, total=len(jobs), shards=effective,
+        seconds=time.perf_counter() - started,
+    ))
+    return [payload for payload in results if payload is not None]
+
+
+def _run_sharded(
+    jobs: Sequence[Job],
+    pending: List[int],
+    results: List[Optional[Dict[str, Any]]],
+    shards: int,
+    store_root: Optional[str],
+    emit: ev.EventCallback,
+) -> List[int]:
+    """Fan ``pending`` job indices across a process pool.
+
+    Returns the indices left for the serial fallback (empty on success).
+    """
+    total = len(jobs)
+    job_failures: List[BaseException] = []
+    try:
+        with ProcessPoolExecutor(max_workers=shards) as pool:
+            futures = {}
+            for index in pending:
+                job = jobs[index]
+                emit(ev.PipelineEvent(
+                    kind=ev.JOB_START, job_id=job.job_id, index=index + 1,
+                    total=total, shards=shards,
+                ))
+                futures[pool.submit(_worker, (job, store_root))] = index
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        payload, cached, seconds = future.result()
+                    except BrokenExecutor:
+                        raise
+                    except Exception as exc:
+                        # The *job* failed (solver error, bad scenario...):
+                        # that is deterministic, so a serial rerun would only
+                        # repeat it — surface it exactly like the serial path.
+                        emit(ev.PipelineEvent(
+                            kind=ev.JOB_FAILED, job_id=jobs[index].job_id,
+                            index=index + 1, total=total, shards=shards,
+                            message=repr(exc),
+                        ))
+                        job_failures.append(exc)
+                        raise
+                    results[index] = payload
+                    emit(ev.PipelineEvent(
+                        kind=ev.JOB_DONE, job_id=jobs[index].job_id,
+                        index=index + 1, total=total, shards=shards,
+                        cached=cached, seconds=seconds,
+                    ))
+        return []
+    except (BrokenExecutor, OSError, ImportError) as exc:
+        if any(failure is exc for failure in job_failures):
+            # A deterministic job failure that happens to share a type with
+            # pool breakage (e.g. an OSError from inside a stage): a serial
+            # rerun would only repeat it, so propagate instead.
+            raise
+        # The *pool* failed: it could not start (no fork/semaphores in the
+        # host) or its workers died mid-run (BrokenProcessPool).  Anything
+        # already collected is kept; the rest reruns serially.
+        remaining = [index for index in pending if results[index] is None]
+        emit(ev.PipelineEvent(
+            kind=ev.FALLBACK,
+            message=f"process pool unavailable ({exc!r}); "
+                    f"running {len(remaining)} job(s) serially",
+        ))
+        return remaining

@@ -88,6 +88,23 @@ class _LruCache:
 _TEMPLATES = _LruCache(maxsize=64)
 _THROUGHPUTS = _LruCache(maxsize=4096)
 
+# Optional persistent layer behind the in-memory throughput cache.  The
+# backend exposes ``get(key) -> Optional[float]`` and ``put(key, value)``;
+# :func:`repro.pipeline.store.attach_persistent_throughputs` installs one
+# backed by an on-disk artifact store shared across processes.
+_PERSISTENT = None
+
+
+def set_persistent_backend(backend) -> None:
+    """Install (or with None, remove) the persistent throughput backend."""
+    global _PERSISTENT
+    _PERSISTENT = backend
+
+
+def persistent_backend():
+    """The currently installed persistent backend (None when detached)."""
+    return _PERSISTENT
+
 
 def compiled_template_for(
     rrg: RRG, mode: str = "tgmg", refine: bool = True
@@ -127,11 +144,24 @@ def throughput_key(
 
 
 def cached_throughput(key: Tuple) -> Optional[float]:
-    return _THROUGHPUTS.get(key)  # type: ignore[return-value]
+    value = _THROUGHPUTS.get(key)
+    if value is None and _PERSISTENT is not None:
+        try:
+            value = _PERSISTENT.get(key)
+        except Exception:
+            value = None  # a broken store must never break simulation
+        if value is not None:
+            _THROUGHPUTS.put(key, float(value))
+    return value  # type: ignore[return-value]
 
 
 def store_throughput(key: Tuple, value: float) -> None:
     _THROUGHPUTS.put(key, float(value))
+    if _PERSISTENT is not None:
+        try:
+            _PERSISTENT.put(key, float(value))
+        except Exception:
+            pass  # persistence is best-effort; memory keeps the value
 
 
 def cache_stats() -> Dict[str, int]:

@@ -1,0 +1,153 @@
+"""Tests for the sharded pipeline runner (repro.pipeline.runner)."""
+
+import pytest
+
+from repro.pipeline import events as ev
+from repro.pipeline import runner as runner_module
+from repro.pipeline.events import EventLog
+from repro.pipeline.runner import derive_seed, run_jobs
+from repro.pipeline.stages import (
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+    optimization_from_payload,
+)
+
+
+def pareto_jobs(root_seed=7):
+    """Two small scenarios, each a full Build/Optimize/Simulate job."""
+    jobs = []
+    for scenario, params in (
+        ("figure1a", {"alpha": 0.9}),
+        ("fork-join-early", {"alpha": 0.85, "long_branch_delay": 6.0}),
+    ):
+        jobs.append(Job(
+            job_id=scenario,
+            build=BuildSpec.from_scenario(scenario, **params),
+            optimize=OptimizeParams(k=3, epsilon=0.1, time_limit=30),
+            simulate=SimulateParams(
+                cycles=1000, seed=derive_seed(root_seed, scenario)
+            ),
+        ))
+    return jobs
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_label_sensitive(self):
+        assert derive_seed(7, "s27") == derive_seed(7, "s27")
+        assert derive_seed(7, "s27") != derive_seed(8, "s27")
+        assert derive_seed(7, "s27") != derive_seed(7, "s208")
+        assert derive_seed(7, "s27", 0) != derive_seed(7, "s27", 1)
+
+    def test_range(self):
+        for label in range(50):
+            assert 0 <= derive_seed(3, label) < 2**31 - 1
+
+
+class TestSerialVsSharded:
+    def test_bit_identical_payloads_and_pareto_points(self):
+        """Serial and sharded runs agree exactly for a fixed root seed."""
+        serial = run_jobs(pareto_jobs(), shards=1)
+        sharded = run_jobs(pareto_jobs(), shards=2)
+        # Full payload equality covers every number the sweep produced...
+        assert sharded == serial
+        # ...and explicitly: the ParetoPoint lists and simulated throughputs.
+        for job, left, right in zip(pareto_jobs(), serial, sharded):
+            rrg = job.build.build()
+            a = optimization_from_payload(left, rrg)
+            b = optimization_from_payload(right, rrg)
+            assert [
+                (p.cycle_time, p.throughput_bound, p.throughput) for p in a.points
+            ] == [
+                (p.cycle_time, p.throughput_bound, p.throughput) for p in b.points
+            ]
+            assert left["simulate"]["throughputs"] == right["simulate"]["throughputs"]
+            assert all(
+                x.configuration.same_assignment(y.configuration)
+                for x, y in zip(a.points, b.points)
+            )
+
+    def test_results_keep_submission_order(self):
+        payloads = run_jobs(pareto_jobs(), shards=2)
+        assert [p["job_id"] for p in payloads] == ["figure1a", "fork-join-early"]
+
+    def test_root_seed_changes_results(self):
+        a = run_jobs(pareto_jobs(root_seed=7))
+        b = run_jobs(pareto_jobs(root_seed=8))
+        assert a != b  # different derived simulation seeds
+
+
+class TestEvents:
+    def test_event_stream_shape(self):
+        log = EventLog()
+        run_jobs(pareto_jobs(), shards=1, events=log)
+        summary = log.summary()
+        assert summary[ev.PIPELINE_START] == 1
+        assert summary[ev.JOB_START] == 2
+        assert summary[ev.JOB_DONE] == 2
+        assert summary[ev.PIPELINE_DONE] == 1
+        done = log.of_kind(ev.JOB_DONE)
+        assert {event.job_id for event in done} == {"figure1a", "fork-join-early"}
+        assert all(event.seconds is not None for event in done)
+
+    def test_sharded_events_report_shard_count(self):
+        log = EventLog()
+        run_jobs(pareto_jobs(), shards=2, events=log)
+        assert log.of_kind(ev.PIPELINE_START)[0].shards == 2
+
+
+class TestFallback:
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process support here")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+        log = EventLog()
+        serial = run_jobs(pareto_jobs(), shards=1)
+        fallen_back = run_jobs(pareto_jobs(), shards=2, events=log)
+        assert fallen_back == serial
+        assert len(log.of_kind(ev.FALLBACK)) == 1
+        assert log.summary()[ev.JOB_DONE] == 2
+
+    def test_single_job_runs_serially(self, monkeypatch):
+        # shards > jobs must not spin up more workers than jobs; with one job
+        # the pool is skipped entirely.
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("pool should not be created for one job")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+        payloads = run_jobs(pareto_jobs()[:1], shards=8)
+        assert payloads[0]["job_id"] == "figure1a"
+
+
+class TestFailures:
+    def test_failing_job_emits_event_and_raises(self):
+        from repro.workloads.registry import ScenarioError
+
+        bad = Job(
+            job_id="broken",
+            build=BuildSpec.from_scenario("figure1a", alpha=2.0),  # invalid
+            simulate=SimulateParams(cycles=100, seed=1),
+        )
+        log = EventLog()
+        with pytest.raises((ScenarioError, ValueError)):
+            run_jobs([bad], events=log)
+        failed = log.of_kind(ev.JOB_FAILED)
+        assert len(failed) == 1 and failed[0].job_id == "broken"
+
+
+class TestEvaluateOnlyJobs:
+    def test_exact_and_bound_columns(self):
+        job = Job(
+            job_id="figure2",
+            build=BuildSpec.from_scenario("figure2", alpha=0.9),
+            simulate=SimulateParams(cycles=2000, seed=1, exact=True, lp_bound=True),
+        )
+        payload = run_jobs([job])[0]
+        evaluate = payload["simulate"]
+        assert evaluate["exact"] == pytest.approx(1 / (3 - 2 * 0.9), abs=1e-4)
+        assert evaluate["lp_bound"] + 1e-9 >= evaluate["exact"]
+        assert evaluate["simulated"] == pytest.approx(evaluate["exact"], abs=0.05)

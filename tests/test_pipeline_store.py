@@ -1,0 +1,210 @@
+"""Tests for the persistent artifact store (repro.pipeline.store)."""
+
+import json
+import os
+
+import pytest
+
+from repro.pipeline.events import EventLog
+from repro.pipeline.runner import run_jobs
+from repro.pipeline.stages import (
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+    job_store_key,
+)
+from repro.pipeline.store import (
+    ArtifactStore,
+    attach_persistent_throughputs,
+    content_key,
+)
+from repro.sim import cache as sim_cache
+
+
+def tiny_job(cycles=800, epsilon=0.2, alpha=0.9, job_id="tiny"):
+    return Job(
+        job_id=job_id,
+        build=BuildSpec.from_scenario("figure1a", alpha=alpha),
+        optimize=OptimizeParams(k=3, epsilon=epsilon, time_limit=30),
+        simulate=SimulateParams(cycles=cycles, seed=7),
+    )
+
+
+class TestContentKeys:
+    def test_content_key_is_stable_and_order_insensitive(self):
+        a = content_key({"b": 2, "a": (1, 2.5, None)})
+        b = content_key({"a": [1, 2.5, None], "b": 2})
+        assert a == b
+        assert len(a) == 64
+
+    def test_job_key_changes_with_graph_and_params(self):
+        job = tiny_job()
+        rrg = job.build.build()
+        base = job_store_key(job, rrg)
+        # Different branch probability -> different fingerprint -> new key.
+        other_graph = tiny_job(alpha=0.8).build.build()
+        assert job_store_key(job, other_graph) != base
+        # Different simulate parameters -> new key.
+        assert job_store_key(tiny_job(cycles=900), rrg) != base
+        # Different optimize parameters -> new key.
+        assert job_store_key(tiny_job(epsilon=0.1), rrg) != base
+        # The job_id and meta are presentation-only: same key.
+        assert job_store_key(tiny_job(job_id="renamed"), rrg) == base
+
+    def test_job_key_sees_initial_tokens(self):
+        job = tiny_job()
+        rrg = job.build.build()
+        shifted = rrg.with_assignment(
+            {0: rrg.edge(0).tokens + 1}, {0: rrg.edge(0).buffers + 1}
+        )
+        assert job_store_key(job, shifted) != job_store_key(job, rrg)
+
+
+class TestArtifactStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = content_key({"x": 1})
+        assert store.get(key) is None
+        store.put(key, {"value": 42})
+        assert store.get(key) == {"value": 42}
+        assert len(store) == 1
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_corrupted_entry_recovers_by_recompute(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = content_key({"x": 2})
+        path = store.put(key, {"value": 1})
+        path.write_text("{ truncated garbage", encoding="utf-8")
+        assert store.get(key) is None  # miss, not a crash
+        assert not path.exists()  # the bad entry was dropped
+        store.put(key, {"value": 2})
+        assert store.get(key) == {"value": 2}
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = content_key({"x": 3})
+        path = store.put(key, {"value": 1})
+        wrapper = json.loads(path.read_text())
+        wrapper["schema"] = 999
+        path.write_text(json.dumps(wrapper), encoding="utf-8")
+        assert store.get(key) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(3):
+            store.put(content_key({"i": i}), {"i": i})
+        assert store.clear() == 3
+        assert len(store) == 0
+
+
+class TestPipelineCaching:
+    def test_second_run_hits_the_store(self, tmp_path):
+        job = tiny_job()
+        first = run_jobs([job], store=tmp_path / "store")[0]
+        log = EventLog()
+        second = run_jobs([job], store=tmp_path / "store", events=log)[0]
+        assert second == first
+        assert log.cached_jobs == 1
+
+    def test_cross_process_hits(self, tmp_path):
+        """Entries written by shard subprocesses serve the parent and vice versa."""
+        store = tmp_path / "store"
+        jobs = [tiny_job(job_id="a"), tiny_job(cycles=900, job_id="b")]
+        # Computed in worker processes...
+        sharded = run_jobs(jobs, shards=2, store=store)
+        # ...then served from disk to the parent process (serial run).
+        log = EventLog()
+        serial = run_jobs(jobs, shards=1, store=store, events=log)
+        assert serial == sharded
+        assert log.cached_jobs == len(jobs)
+        # ...and entries written serially serve later worker processes.
+        log2 = EventLog()
+        again = run_jobs(jobs, shards=2, store=store, events=log2)
+        assert again == sharded
+        assert log2.cached_jobs == len(jobs)
+
+    def test_caller_store_instance_is_reused_serially(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        run_jobs([tiny_job()], store=store)
+        assert store.stats()["misses"] >= 1
+        run_jobs([tiny_job()], store=store)
+        assert store.stats()["hits"] >= 1
+
+    def test_runner_restores_callers_persistent_backend(self, tmp_path):
+        user_store = ArtifactStore(tmp_path / "user")
+        attach_persistent_throughputs(user_store)
+        try:
+            run_jobs([tiny_job()], store=tmp_path / "run")
+            backend = sim_cache.persistent_backend()
+            assert backend is not None and backend.store is user_store
+        finally:
+            attach_persistent_throughputs(None)
+            sim_cache.clear_caches()
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        store = tmp_path / "store"
+        run_jobs([tiny_job()], store=store)
+        log = EventLog()
+        run_jobs([tiny_job(cycles=900)], store=store, events=log)
+        assert log.cached_jobs == 0
+
+    def test_corrupted_job_entry_recomputes(self, tmp_path):
+        store_dir = tmp_path / "store"
+        job = tiny_job()
+        first = run_jobs([job], store=store_dir)[0]
+        for path in ArtifactStore(store_dir)._entries():
+            path.write_text("not json", encoding="utf-8")
+        log = EventLog()
+        second = run_jobs([job], store=store_dir, events=log)[0]
+        assert second == first
+        assert log.cached_jobs == 0
+
+
+class TestPersistentThroughputs:
+    def test_backend_attach_and_fallthrough(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = ("fingerprint", "tgmg", (), (), 100, 10, 3)
+        sim_cache.clear_caches()
+        attach_persistent_throughputs(store)
+        try:
+            assert sim_cache.cached_throughput(key) is None
+            sim_cache.store_throughput(key, 0.75)
+            # Drop the in-memory layer: the value must come back from disk.
+            sim_cache.clear_caches()
+            assert sim_cache.cached_throughput(key) == pytest.approx(0.75)
+        finally:
+            attach_persistent_throughputs(None)
+        sim_cache.clear_caches()
+        assert sim_cache.persistent_backend() is None
+
+    def test_detached_backend_leaves_no_disk_traffic(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = ("fp", "tgmg", (), (), 50, 5, 1)
+        sim_cache.clear_caches()
+        sim_cache.store_throughput(key, 0.5)
+        assert len(store) == 0
+        sim_cache.clear_caches()
+
+    def test_broken_backend_never_breaks_simulation(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        attach_persistent_throughputs(store)
+        try:
+            monkeypatch.setattr(
+                store, "get_throughput",
+                lambda key: (_ for _ in ()).throw(OSError("disk gone")),
+            )
+            monkeypatch.setattr(
+                store, "put_throughput",
+                lambda key, value: (_ for _ in ()).throw(OSError("disk gone")),
+            )
+            key = ("fp2", "tgmg", (), (), 50, 5, 1)
+            sim_cache.clear_caches()
+            sim_cache.store_throughput(key, 0.25)  # must not raise
+            assert sim_cache.cached_throughput(key) == pytest.approx(0.25)
+            sim_cache.clear_caches()
+            assert sim_cache.cached_throughput(key) is None  # and still no raise
+        finally:
+            attach_persistent_throughputs(None)
+            sim_cache.clear_caches()

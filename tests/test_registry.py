@@ -1,0 +1,108 @@
+"""Tests for the scenario registry (repro.workloads.registry)."""
+
+import pytest
+
+from repro.sim.cache import rrg_fingerprint
+from repro.workloads.iscas_like import TABLE2_SPECS
+from repro.workloads.registry import (
+    ScenarioError,
+    ScenarioSpec,
+    build_scenario,
+    expand_grid,
+    has_scenario,
+    iscas_scale_family,
+    list_scenarios,
+    random_sweep_family,
+    scenario,
+    scenario_grid,
+)
+
+
+class TestLookup:
+    def test_every_table2_circuit_is_registered(self):
+        for spec in TABLE2_SPECS:
+            assert has_scenario(f"iscas-{spec.name}")
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            scenario("no-such-scenario")
+
+    def test_listing_filters(self):
+        all_specs = list_scenarios()
+        assert len(all_specs) >= 20
+        iscas = list_scenarios(family="iscas")
+        assert all(spec.family == "iscas" for spec in iscas)
+        motivational = list_scenarios(tag="motivational")
+        assert {spec.name for spec in motivational} == {
+            "figure1a", "figure1b", "figure2"
+        }
+
+    def test_names_are_sorted(self):
+        names = [spec.name for spec in list_scenarios()]
+        assert names == sorted(names)
+
+
+class TestBuild:
+    def test_build_is_deterministic(self):
+        a = build_scenario("iscas", {"name": "s27", "scale": 0.2, "seed": 11})
+        b = build_scenario("iscas", {"name": "s27", "scale": 0.2, "seed": 11})
+        assert rrg_fingerprint(a) == rrg_fingerprint(b)
+        assert a.token_vector() == b.token_vector()
+
+    def test_seed_changes_the_graph(self):
+        a = build_scenario("random", {"seed": 1})
+        b = build_scenario("random", {"seed": 2})
+        assert rrg_fingerprint(a) != rrg_fingerprint(b)
+
+    def test_parameter_override(self):
+        rrg = build_scenario("figure1a", {"alpha": 0.9})
+        probabilities = [
+            e.probability for e in rrg.edges if e.probability is not None
+        ]
+        assert pytest.approx(max(probabilities)) == 0.9
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ScenarioError, match="no parameters"):
+            build_scenario("figure1a", {"alpha": 0.5, "bogus": 1})
+
+    def test_fork_join_late_has_no_early_nodes(self):
+        early = build_scenario("fork-join-early", {})
+        late = build_scenario("fork-join-late", {})
+        assert early.early_nodes and not late.early_nodes
+        assert late.num_edges == early.num_edges
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads import registry
+
+        spec = registry.scenario("figure1a")
+        with pytest.raises(ScenarioError, match="duplicate"):
+            registry.register_scenario(
+                ScenarioSpec(name="figure1a", description="dup",
+                             builder=spec.builder)
+            )
+
+
+class TestFamilies:
+    def test_expand_grid_is_cartesian(self):
+        grid = expand_grid(a=(1, 2), b=("x", "y", "z"))
+        assert len(grid) == 6
+        assert {"a": 1, "b": "z"} in grid
+
+    def test_scenario_grid_validates_name(self):
+        with pytest.raises(ScenarioError):
+            scenario_grid("nope", alpha=(0.5,))
+        instances = scenario_grid("figure1a", alpha=(0.5, 0.7, 0.9))
+        assert len(instances) == 3
+        assert all(name == "figure1a" for name, _ in instances)
+
+    def test_random_sweep_enumerates_many_circuits(self):
+        instances = random_sweep_family(seeds=range(4))
+        assert len(instances) == 16  # 4 sizes x 4 seeds
+        built = build_scenario(*instances[0])
+        assert built.num_nodes == instances[0][1]["num_nodes"]
+
+    def test_iscas_scale_family_covers_suite(self):
+        instances = iscas_scale_family(scales=(0.15, 0.25), names=["s27", "s208"])
+        assert len(instances) == 4
+        names = {params["name"] for _, params in instances}
+        assert names == {"s27", "s208"}
