@@ -23,9 +23,12 @@ The package is organised as:
   Optimize / Simulate / Report stages, the sharded runner, the persistent
   artifact store and structured progress events;
 * :mod:`repro.experiments` — drivers regenerating the paper's tables and
-  figures as thin pipeline declarations;
+  figures as thin pipeline declarations, plus the shared run presets;
+* :mod:`repro.service` — the async optimization-as-a-service layer: an
+  HTTP server with request coalescing, batching and tiered caching over
+  the pipeline, plus sync/async clients;
 * :mod:`repro.cli` — the ``python -m repro`` command line (``run``,
-  ``list-scenarios``, ``report``).
+  ``serve``, ``submit``, ``list-scenarios``, ``report``).
 
 Quickstart::
 

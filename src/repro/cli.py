@@ -6,7 +6,11 @@ Subcommands:
 * ``run <target>`` — run an experiment preset (``motivational``, ``table1``,
   ``table2``, ``table2-small``, ``ablations``) or any registry scenario as a
   sharded pipeline sweep;
-* ``report <file>`` — re-render the tables of a saved run result.
+* ``report <file>`` — re-render the tables of a saved run result;
+* ``serve`` — start the optimization service (async JSON-over-HTTP layer
+  with request coalescing, batching and tiered caching);
+* ``submit <target>`` — send a run request to a running service and render
+  the result exactly like ``run`` would.
 
 Examples::
 
@@ -17,11 +21,15 @@ Examples::
     python -m repro run figure1a --param alpha=0.9
     python -m repro run table1 --output table1.json
     python -m repro report table1.json
+    python -m repro serve --store .repro-store
+    python -m repro submit table2-small --names s27
 
 Every ``run`` accepts ``--shards`` (process-parallel sweep), ``--store``
 (persistent artifact cache: a second identical run is pure disk hits) and
 ``--seed`` (the root seed all per-job seeds derive from, so serial and
-sharded runs print identical tables).
+sharded runs print identical tables).  A ``run`` interrupted with Ctrl-C
+finishes its in-flight jobs, publishes their artifacts and exits 130; a
+second Ctrl-C aborts immediately.
 """
 
 from __future__ import annotations
@@ -32,48 +40,11 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
-from repro.core.milp import MilpSettings
-from repro.experiments.ablations import (
-    average_error,
-    early_evaluation_placement_study,
-    lp_error_study,
-)
-from repro.experiments.motivational import run_motivational
+from repro.experiments.presets import RunOptions, run_preset
 from repro.experiments.reporting import event_printer, format_table
-from repro.experiments.table1 import (
-    table1_as_rows,
-    table1_from_payload,
-    table1_job,
-)
-from repro.experiments.table2 import (
-    average_improvement,
-    run_table2,
-    table2_as_rows,
-)
 from repro.pipeline.events import EventLog
-from repro.pipeline.runner import run_jobs
-from repro.pipeline.stages import BuildSpec, Job, OptimizeParams, SimulateParams
-from repro.workloads.examples import figure1a_rrg
-from repro.workloads.registry import (
-    ScenarioError,
-    has_scenario,
-    list_scenarios,
-    scenario,
-)
-
-#: run targets that are not plain registry scenarios.
-EXPERIMENT_TARGETS = (
-    "motivational",
-    "table1",
-    "table2",
-    "table2-small",
-    "ablations",
-)
-
-TABLE1_HEADERS = ["name", "tau", "Theta_lp", "Theta", "err%", "xi_lp", "xi"]
-TABLE2_HEADERS = [
-    "name", "|N1|", "|N2|", "|E|", "xi*", "xi_nee", "xi_lp", "xi_sim", "I%",
-]
+from repro.pipeline.runner import PipelineAborted, graceful_interrupts
+from repro.workloads.registry import ScenarioError, list_scenarios
 
 
 def _parse_param(text: str) -> Any:
@@ -94,7 +65,7 @@ def _scenario_params(items: Sequence[str]) -> Dict[str, Any]:
 
 
 def _events(args: argparse.Namespace, log: EventLog):
-    printer = event_printer()
+    printer = event_printer(fmt=getattr(args, "events", None) or "text")
 
     def observe(event) -> None:
         log(event)
@@ -104,162 +75,18 @@ def _events(args: argparse.Namespace, log: EventLog):
     return observe
 
 
-def _settings(args: argparse.Namespace) -> MilpSettings:
-    return MilpSettings(time_limit=args.time_limit)
-
-
-def _result(
-    target: str,
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    summary: Dict[str, Any],
-) -> Dict[str, Any]:
-    return {
-        "target": target,
-        "headers": list(headers),
-        "rows": [list(row) for row in rows],
-        "summary": summary,
-    }
-
-
-def _run_motivational(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
-    rows = run_motivational(
-        alphas=tuple(args.alphas or (0.5, 0.9)),
-        cycles=args.cycles or 20000,
-        seed=args.seed if args.seed is not None else 1,
-        shards=args.shards,
-        store=args.store,
-        events=_events(args, log),
-    )
-    formatted = [
-        (
-            f"Figure {row.figure}",
-            row.alpha,
-            round(row.cycle_time, 2),
-            round(row.exact, 4),
-            round(row.simulated, 4),
-            round(row.lp_bound, 4),
-            "-" if row.expected is None else round(row.expected, 4),
-        )
-        for row in rows
-    ]
-    headers = ["config", "alpha", "tau", "Theta", "Theta_sim", "Theta_lp", "paper"]
-    return _result("motivational", headers, formatted, {})
-
-
-def _run_table1(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
-    circuit = (args.names or ["s526"])[0]
-    # --seed is the root: it moves both graph generation and the simulation
-    # lanes (defaults reproduce examples/pareto_exploration.py).
-    job = table1_job(
-        BuildSpec.from_scenario(
-            "iscas",
-            name=circuit,
-            scale=args.scale if args.scale is not None else 0.4,
-            seed=args.seed if args.seed is not None else 42,
-        ),
-        epsilon=args.epsilon or 0.05,
-        cycles=args.cycles or 4000,
-        seed=args.seed if args.seed is not None else 7,
-        settings=_settings(args),
-        job_id=circuit,
-    )
-    payload = run_jobs(
-        [job], shards=args.shards, store=args.store, events=_events(args, log)
-    )[0]
-    result = table1_from_payload(payload)
-    return _result(
-        "table1",
-        TABLE1_HEADERS,
-        table1_as_rows(result),
-        {"delta_percent": round(result.delta_percent, 3)},
-    )
-
-
-def _run_table2(args: argparse.Namespace, log: EventLog, small: bool) -> Dict[str, Any]:
-    if small:
-        defaults = {"scale": 0.15, "names": ["s27", "s208", "s420"],
-                    "epsilon": 0.1, "cycles": 1500}
-    else:
-        defaults = {"scale": 0.25, "names": None, "epsilon": 0.05, "cycles": 4000}
-    rows = run_table2(
-        scale=args.scale if args.scale is not None else defaults["scale"],
-        names=args.names or defaults["names"],
-        epsilon=args.epsilon or defaults["epsilon"],
-        cycles=args.cycles or defaults["cycles"],
-        seed=args.seed if args.seed is not None else 2009,
-        settings=_settings(args),
-        shards=args.shards,
-        store=args.store,
-        events=_events(args, log),
-    )
-    return _result(
-        "table2-small" if small else "table2",
-        TABLE2_HEADERS,
-        table2_as_rows(rows),
-        {"average_improvement_percent": round(average_improvement(rows), 3)},
-    )
-
-
-def _run_ablations(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
-    events = _events(args, log)
-    placement = early_evaluation_placement_study(
-        epsilon=args.epsilon or 0.02,
-        cycles=args.cycles or 4000,
-        seed=args.seed if args.seed is not None else 3,
-        settings=_settings(args),
-        shards=args.shards,
-        store=args.store,
-        events=events,
-    )
-    samples = lp_error_study(
-        [figure1a_rrg(0.8)],
-        epsilon=0.1,
-        cycles=args.cycles or 4000,
-        seed=args.seed if args.seed is not None else 5,
-        settings=_settings(args),
-        shards=args.shards,
-        store=args.store,
-        events=events,
-    )
-    rows = [
-        ("placement: I% with early join", round(placement.improvement_with_early, 2)),
-        ("placement: I% without early join",
-         round(placement.improvement_without_early, 2)),
-        ("LP bound: samples", len(samples)),
-        ("LP bound: average |err|%", round(average_error(samples), 2)),
-    ]
-    return _result("ablations", ["observation", "value"], rows, {})
-
-
-def _run_scenario(args: argparse.Namespace, log: EventLog) -> Dict[str, Any]:
-    params = _scenario_params(args.param or [])
-    # --seed is the root: when the scenario generates from a seed and the
-    # user did not pin one with --param seed=..., the root seed drives it.
-    if args.seed is not None and "seed" not in params and (
-        "seed" in scenario(args.target).defaults
-    ):
-        params["seed"] = args.seed
-    job = Job(
-        job_id=args.target,
-        build=BuildSpec(scenario=args.target, params=params),
-        optimize=OptimizeParams.from_settings(
-            _settings(args), k=5, epsilon=args.epsilon or 0.05
-        ),
-        simulate=SimulateParams(
-            cycles=args.cycles or 4000,
-            seed=args.seed if args.seed is not None else 7,
-        ),
-    )
-    payload = run_jobs(
-        [job], shards=args.shards, store=args.store, events=_events(args, log)
-    )[0]
-    result = table1_from_payload(payload)
-    return _result(
-        args.target,
-        TABLE1_HEADERS,
-        table1_as_rows(result),
-        {"delta_percent": round(result.delta_percent, 3)},
+def _run_options(args: argparse.Namespace) -> RunOptions:
+    return RunOptions(
+        shards=getattr(args, "shards", 1),
+        seed=args.seed,
+        store=getattr(args, "store", None),
+        cycles=args.cycles,
+        epsilon=args.epsilon,
+        scale=args.scale,
+        names=tuple(args.names) if args.names else None,
+        alphas=tuple(args.alphas) if args.alphas else None,
+        time_limit=args.time_limit,
+        params=_scenario_params(args.param or []),
     )
 
 
@@ -269,36 +96,31 @@ def _render_result(result: Dict[str, Any], stream) -> None:
         print(f"{key}: {value}", file=stream)
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    target = args.target
-    log = EventLog()
-    if target == "motivational":
-        result = _run_motivational(args, log)
-    elif target == "table1":
-        result = _run_table1(args, log)
-    elif target in ("table2", "table2-small"):
-        result = _run_table2(args, log, small=target.endswith("small"))
-    elif target == "ablations":
-        result = _run_ablations(args, log)
-    elif has_scenario(target):
-        result = _run_scenario(args, log)
-    else:
-        known = ", ".join(EXPERIMENT_TARGETS)
-        print(
-            f"unknown target {target!r}; expected one of {known} "
-            "or a scenario name (see list-scenarios)",
-            file=sys.stderr,
-        )
-        return 2
-    _render_result(result, sys.stdout)
-    if args.store is not None and not args.quiet:
-        done = len(log.of_kind("job-done"))
-        print(f"store: {log.cached_jobs}/{done} job(s) served from {args.store}")
+def _write_output(result: Dict[str, Any], args: argparse.Namespace) -> None:
     if args.output:
         path = Path(args.output)
         path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
         if not args.quiet:
             print(f"wrote {path}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    log = EventLog()
+    try:
+        with graceful_interrupts():
+            result = run_preset(args.target, _run_options(args), _events(args, log))
+    except PipelineAborted as exc:
+        print(
+            f"interrupted: {exc.completed}/{exc.total} job(s) completed "
+            "(published artifacts are kept; re-run to finish)",
+            file=sys.stderr,
+        )
+        return 130
+    _render_result(result, sys.stdout)
+    if args.store is not None and not args.quiet:
+        done = len(log.of_kind("job-done"))
+        print(f"store: {log.cached_jobs}/{done} job(s) served from {args.store}")
+    _write_output(result, args)
     return 0
 
 
@@ -334,6 +156,76 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            store=args.store,
+            shards=args.shards,
+            queue_limit=args.queue_limit,
+            quiet=args.quiet,
+        )
+    except OSError as exc:
+        # Bind failures (port in use, bad address) are user input errors,
+        # not tracebacks.
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.pipeline.events import PipelineEvent
+    from repro.service.client import ServiceBusy, ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    # One source of truth for what counts as a compute option: anything
+    # RunOptions.describe() reports and the caller actually set.  A flag
+    # added to add_compute_options/RunOptions flows through automatically,
+    # keeping `submit` bit-identical to `run`.
+    options: Dict[str, Any] = {
+        key: value
+        for key, value in _run_options(args).describe().items()
+        if value not in (None, {}, [])
+    }
+
+    printer = event_printer(fmt=getattr(args, "events", None) or "text")
+
+    def on_event(event: Dict[str, Any]) -> None:
+        if not args.quiet:
+            printer(PipelineEvent(**event))
+
+    try:
+        record = client.submit_run(args.target, options)
+        if args.no_wait:
+            print(json.dumps(record, indent=2))
+            return 0
+        if record.get("status") == "done":
+            document = client.result(record["id"])
+        else:
+            document = client.wait(
+                record["id"], timeout=args.timeout, on_event=on_event
+            )
+    except ServiceBusy as exc:
+        print(f"service busy: {exc}", file=sys.stderr)
+        return 3
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+
+    result = document.get("result") or {}
+    if not args.quiet and document.get("cached"):
+        print(f"service: answered from {document['cached']} cache")
+    if isinstance(result, dict) and "headers" in result:
+        _render_result(result, sys.stdout)
+    else:
+        print(json.dumps(result, indent=2))
+    _write_output(result, args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -342,33 +234,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_compute_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--seed", type=int, default=None,
+                             help="root seed (default: the experiment's published seed)")
+        command.add_argument("--cycles", type=int, default=None,
+                             help="simulation cycles per configuration")
+        command.add_argument("--epsilon", type=float, default=None,
+                             help="MIN_EFF_CYC throughput step")
+        command.add_argument("--scale", type=float, default=None,
+                             help="benchmark size multiplier (table1/table2)")
+        command.add_argument("--names", nargs="+", default=None,
+                             help="circuit subset (table2) or circuit (table1)")
+        command.add_argument("--alphas", nargs="+", type=float, default=None,
+                             help="alpha values (motivational)")
+        command.add_argument("--time-limit", type=float, default=60.0,
+                             help="MILP time limit in seconds (default 60)")
+        command.add_argument("--param", action="append", default=None,
+                             metavar="KEY=VALUE",
+                             help="scenario parameter override (repeatable)")
+        command.add_argument("--output", default=None,
+                             help="write the run result as JSON to this file")
+        command.add_argument("--events", choices=("text", "json"), default="text",
+                             help="progress event format (default text)")
+        command.add_argument("--quiet", action="store_true",
+                             help="suppress progress events")
+
     run = sub.add_parser("run", help="run an experiment preset or scenario")
     run.add_argument("target", help="experiment preset or scenario name")
     run.add_argument("--shards", type=int, default=1,
                      help="worker processes (default 1 = serial)")
-    run.add_argument("--seed", type=int, default=None,
-                     help="root seed (default: the experiment's published seed)")
     run.add_argument("--store", default=None,
                      help="persistent artifact store directory")
-    run.add_argument("--cycles", type=int, default=None,
-                     help="simulation cycles per configuration")
-    run.add_argument("--epsilon", type=float, default=None,
-                     help="MIN_EFF_CYC throughput step")
-    run.add_argument("--scale", type=float, default=None,
-                     help="benchmark size multiplier (table1/table2)")
-    run.add_argument("--names", nargs="+", default=None,
-                     help="circuit subset (table2) or circuit (table1)")
-    run.add_argument("--alphas", nargs="+", type=float, default=None,
-                     help="alpha values (motivational)")
-    run.add_argument("--time-limit", type=float, default=60.0,
-                     help="MILP time limit in seconds (default 60)")
-    run.add_argument("--param", action="append", default=None,
-                     metavar="KEY=VALUE",
-                     help="scenario parameter override (repeatable)")
-    run.add_argument("--output", default=None,
-                     help="write the run result as JSON to this file")
-    run.add_argument("--quiet", action="store_true",
-                     help="suppress progress events")
+    add_compute_options(run)
     run.set_defaults(func=cmd_run)
 
     ls = sub.add_parser("list-scenarios", help="list registered scenarios")
@@ -380,6 +277,32 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="re-render a saved run result")
     rep.add_argument("file", help="result JSON written by `run --output`")
     rep.set_defaults(func=cmd_report)
+
+    srv = sub.add_parser("serve", help="start the optimization service")
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="listen port (0 picks a free one; default 8642)")
+    srv.add_argument("--store", default=None,
+                     help="persistent artifact store shared by all requests")
+    srv.add_argument("--shards", type=int, default=1,
+                     help="worker processes per pipeline run (default 1)")
+    srv.add_argument("--queue-limit", type=int, default=32,
+                     help="max queued requests before 429 (default 32)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress service log lines")
+    srv.set_defaults(func=cmd_serve)
+
+    sbm = sub.add_parser("submit",
+                         help="submit a run request to a running service")
+    sbm.add_argument("target", help="experiment preset or scenario name")
+    sbm.add_argument("--host", default="127.0.0.1", help="service host")
+    sbm.add_argument("--port", type=int, default=8642, help="service port")
+    sbm.add_argument("--timeout", type=float, default=600.0,
+                     help="overall wait timeout in seconds (default 600)")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="print the queued record instead of waiting")
+    add_compute_options(sbm)
+    sbm.set_defaults(func=cmd_submit)
     return parser
 
 

@@ -1,0 +1,381 @@
+"""Run presets: every CLI target as a plain function of declarative options.
+
+``python -m repro run`` and the optimization service
+(:mod:`repro.service`) execute the same targets — the experiment presets
+(``motivational``, ``table1``, ``table2``, ``table2-small``, ``ablations``)
+and any registry scenario — so the execution lives here, behind one entry
+point:
+
+* :class:`RunOptions` — the declarative knobs a run accepts (shards, seeds,
+  store, cycles, ...), constructible from CLI arguments or from a JSON
+  request body (:meth:`RunOptions.from_mapping` validates remote input);
+* :func:`run_preset` — execute a target and return the rendered result
+  dictionary (``{"target", "headers", "rows", "summary"}``).
+
+Because both front ends share this function, a result served over HTTP is
+bit-identical to the one the CLI prints for the same options — which is also
+what makes service-side caching sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.milp import MilpSettings
+from repro.experiments.ablations import (
+    average_error,
+    early_evaluation_placement_study,
+    lp_error_study,
+)
+from repro.experiments.motivational import run_motivational
+from repro.experiments.table1 import (
+    table1_as_rows,
+    table1_from_payload,
+    table1_job,
+)
+from repro.experiments.table2 import (
+    average_improvement,
+    run_table2,
+    table2_as_rows,
+)
+from repro.pipeline.events import EventCallback
+from repro.pipeline.runner import run_jobs
+from repro.pipeline.stages import BuildSpec, Job, OptimizeParams, SimulateParams
+from repro.workloads.examples import figure1a_rrg
+from repro.workloads.registry import ScenarioError, has_scenario, scenario
+
+#: run targets that are not plain registry scenarios.
+EXPERIMENT_TARGETS = (
+    "motivational",
+    "table1",
+    "table2",
+    "table2-small",
+    "ablations",
+)
+
+TABLE1_HEADERS = ["name", "tau", "Theta_lp", "Theta", "err%", "xi_lp", "xi"]
+TABLE2_HEADERS = [
+    "name", "|N1|", "|N2|", "|E|", "xi*", "xi_nee", "xi_lp", "xi_sim", "I%",
+]
+
+
+class UnknownTargetError(ScenarioError):
+    """Raised for a run target that is neither a preset nor a scenario."""
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Declarative options of one ``run``/``submit`` invocation.
+
+    ``None`` means "use the target's published default" — the preset
+    functions resolve them exactly as the CLI always did, so two option sets
+    that differ only in explicit-vs-defaulted values execute identically
+    (but canonicalise differently; see :meth:`describe`).
+    """
+
+    shards: int = 1
+    seed: Optional[int] = None
+    store: Optional[str] = None
+    cycles: Optional[int] = None
+    epsilon: Optional[float] = None
+    scale: Optional[float] = None
+    names: Optional[Tuple[str, ...]] = None
+    alphas: Optional[Tuple[float, ...]] = None
+    time_limit: Optional[float] = 60.0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    #: Options that change *what* is computed (not how it is executed);
+    #: only these enter request/cache keys.
+    COMPUTE_FIELDS = (
+        "seed", "cycles", "epsilon", "scale", "names", "alphas",
+        "time_limit", "params",
+    )
+
+    def settings(self) -> MilpSettings:
+        return MilpSettings(time_limit=self.time_limit)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "RunOptions":
+        """Build options from untrusted input (a service request body).
+
+        Unknown keys raise :class:`ScenarioError` so a bad request fails
+        before it is queued.  Execution knobs (``shards``, ``store``) are
+        rejected too: a remote caller must never direct server-side
+        filesystem writes or worker fan-out — the service substitutes its
+        own.  Sequences are normalised to tuples; scenario ``params`` stay
+        a dict and are validated later against the registry.
+        """
+        known = {f.name for f in fields(cls)} - {"COMPUTE_FIELDS"}
+        remote_forbidden = {"shards", "store"} & set(data)
+        if remote_forbidden:
+            raise ScenarioError(
+                f"option(s) {sorted(remote_forbidden)} are execution knobs "
+                "of the serving side and cannot be set per request"
+            )
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(
+                f"unknown run option(s) {sorted(unknown)}; "
+                f"available: {sorted(known - {'shards', 'store'})}"
+            )
+        values: Dict[str, Any] = dict(data)
+        try:
+            for name in ("seed", "cycles"):
+                if values.get(name) is not None:
+                    values[name] = int(values[name])
+            for name in ("epsilon", "scale", "time_limit"):
+                if values.get(name) is not None:
+                    values[name] = float(values[name])
+            if values.get("names") is not None:
+                values["names"] = tuple(str(n) for n in values["names"])
+            if values.get("alphas") is not None:
+                values["alphas"] = tuple(float(a) for a in values["alphas"])
+            if values.get("params") is not None:
+                values["params"] = dict(values["params"])
+        except (TypeError, ValueError) as exc:
+            # Admission-time 400, not a server-side 500 mid-execution.
+            raise ScenarioError(f"invalid run option value: {exc}") from exc
+        return cls(**values)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON form of the *compute-relevant* options.
+
+        Execution knobs (shards, store) are excluded: a request computes the
+        same result regardless of how it is fanned out or persisted, so they
+        must not split the request-cache key space.
+        """
+        out: Dict[str, Any] = {}
+        for name in self.COMPUTE_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, Mapping):
+                value = dict(value)
+            out[name] = value
+        return out
+
+    def with_execution(
+        self, shards: int, store: Optional[str]
+    ) -> "RunOptions":
+        """A copy with *both* execution knobs overwritten.
+
+        Unconditional on purpose: the serving side owns where artifacts go
+        and how work fans out, whatever the request carried (``store=None``
+        means "no persistence", not "keep the caller's value").
+        """
+        return replace(self, shards=shards, store=store)
+
+
+def _result(
+    target: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    summary: Dict[str, Any],
+) -> Dict[str, Any]:
+    return {
+        "target": target,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "summary": summary,
+    }
+
+
+def _run_motivational(options: RunOptions, events) -> Dict[str, Any]:
+    rows = run_motivational(
+        alphas=tuple(options.alphas or (0.5, 0.9)),
+        cycles=options.cycles or 20000,
+        seed=options.seed if options.seed is not None else 1,
+        shards=options.shards,
+        store=options.store,
+        events=events,
+    )
+    formatted = [
+        (
+            f"Figure {row.figure}",
+            row.alpha,
+            round(row.cycle_time, 2),
+            round(row.exact, 4),
+            round(row.simulated, 4),
+            round(row.lp_bound, 4),
+            "-" if row.expected is None else round(row.expected, 4),
+        )
+        for row in rows
+    ]
+    headers = ["config", "alpha", "tau", "Theta", "Theta_sim", "Theta_lp", "paper"]
+    return _result("motivational", headers, formatted, {})
+
+
+def _run_table1(options: RunOptions, events) -> Dict[str, Any]:
+    circuit = options.names[0] if options.names else "s526"
+    # --seed is the root: it moves both graph generation and the simulation
+    # lanes (defaults reproduce examples/pareto_exploration.py).
+    job = table1_job(
+        BuildSpec.from_scenario(
+            "iscas",
+            name=circuit,
+            scale=options.scale if options.scale is not None else 0.4,
+            seed=options.seed if options.seed is not None else 42,
+        ),
+        epsilon=options.epsilon or 0.05,
+        cycles=options.cycles or 4000,
+        seed=options.seed if options.seed is not None else 7,
+        settings=options.settings(),
+        job_id=circuit,
+    )
+    payload = run_jobs(
+        [job], shards=options.shards, store=options.store, events=events
+    )[0]
+    result = table1_from_payload(payload)
+    return _result(
+        "table1",
+        TABLE1_HEADERS,
+        table1_as_rows(result),
+        {"delta_percent": round(result.delta_percent, 3)},
+    )
+
+
+def _run_table2(options: RunOptions, events, small: bool) -> Dict[str, Any]:
+    if small:
+        defaults = {"scale": 0.15, "names": ["s27", "s208", "s420"],
+                    "epsilon": 0.1, "cycles": 1500}
+    else:
+        defaults = {"scale": 0.25, "names": None, "epsilon": 0.05, "cycles": 4000}
+    rows = run_table2(
+        scale=options.scale if options.scale is not None else defaults["scale"],
+        names=list(options.names) if options.names else defaults["names"],
+        epsilon=options.epsilon or defaults["epsilon"],
+        cycles=options.cycles or defaults["cycles"],
+        seed=options.seed if options.seed is not None else 2009,
+        settings=options.settings(),
+        shards=options.shards,
+        store=options.store,
+        events=events,
+    )
+    return _result(
+        "table2-small" if small else "table2",
+        TABLE2_HEADERS,
+        table2_as_rows(rows),
+        {"average_improvement_percent": round(average_improvement(rows), 3)},
+    )
+
+
+def _run_ablations(options: RunOptions, events) -> Dict[str, Any]:
+    placement = early_evaluation_placement_study(
+        epsilon=options.epsilon or 0.02,
+        cycles=options.cycles or 4000,
+        seed=options.seed if options.seed is not None else 3,
+        settings=options.settings(),
+        shards=options.shards,
+        store=options.store,
+        events=events,
+    )
+    samples = lp_error_study(
+        [figure1a_rrg(0.8)],
+        epsilon=0.1,
+        cycles=options.cycles or 4000,
+        seed=options.seed if options.seed is not None else 5,
+        settings=options.settings(),
+        shards=options.shards,
+        store=options.store,
+        events=events,
+    )
+    rows = [
+        ("placement: I% with early join", round(placement.improvement_with_early, 2)),
+        ("placement: I% without early join",
+         round(placement.improvement_without_early, 2)),
+        ("LP bound: samples", len(samples)),
+        ("LP bound: average |err|%", round(average_error(samples), 2)),
+    ]
+    return _result("ablations", ["observation", "value"], rows, {})
+
+
+def scenario_job(target: str, options: RunOptions) -> Job:
+    """The single pipeline job a plain-scenario run declares.
+
+    Exposed separately so the service can derive the request's cache key
+    (RRG fingerprint + stage parameters) without executing anything.
+    """
+    params = dict(options.params)
+    # The root seed drives generation when the scenario takes a seed and the
+    # caller did not pin one explicitly.
+    if options.seed is not None and "seed" not in params and (
+        "seed" in scenario(target).defaults
+    ):
+        params["seed"] = options.seed
+    return Job(
+        job_id=target,
+        build=BuildSpec(scenario=target, params=params),
+        optimize=OptimizeParams.from_settings(
+            options.settings(), k=5, epsilon=options.epsilon or 0.05
+        ),
+        simulate=SimulateParams(
+            cycles=options.cycles or 4000,
+            seed=options.seed if options.seed is not None else 7,
+        ),
+    )
+
+
+def _run_scenario(target: str, options: RunOptions, events) -> Dict[str, Any]:
+    job = scenario_job(target, options)
+    payload = run_jobs(
+        [job], shards=options.shards, store=options.store, events=events
+    )[0]
+    result = table1_from_payload(payload)
+    return _result(
+        target,
+        TABLE1_HEADERS,
+        table1_as_rows(result),
+        {"delta_percent": round(result.delta_percent, 3)},
+    )
+
+
+def run_preset(
+    target: str,
+    options: Optional[RunOptions] = None,
+    events: Optional[EventCallback] = None,
+) -> Dict[str, Any]:
+    """Execute a run target and return its rendered result dictionary.
+
+    Args:
+        target: An experiment preset (:data:`EXPERIMENT_TARGETS`) or any
+            registered scenario name.
+        options: Run options; defaults reproduce the published tables.
+        events: Structured progress callback (None ignores events).
+
+    Raises:
+        UnknownTargetError: For a target that is neither preset nor scenario.
+    """
+    options = options or RunOptions()
+    if target == "motivational":
+        return _run_motivational(options, events)
+    if target == "table1":
+        return _run_table1(options, events)
+    if target in ("table2", "table2-small"):
+        return _run_table2(options, events, small=target.endswith("small"))
+    if target == "ablations":
+        return _run_ablations(options, events)
+    if has_scenario(target):
+        return _run_scenario(target, options, events)
+    known = ", ".join(EXPERIMENT_TARGETS)
+    raise UnknownTargetError(
+        f"unknown target {target!r}; expected one of {known} "
+        "or a scenario name (see list-scenarios)"
+    )
+
+
+def is_run_target(target: str) -> bool:
+    """Whether ``target`` is executable by :func:`run_preset`."""
+    return target in EXPERIMENT_TARGETS or has_scenario(target)
+
+
+__all__ = [
+    "EXPERIMENT_TARGETS",
+    "TABLE1_HEADERS",
+    "TABLE2_HEADERS",
+    "RunOptions",
+    "UnknownTargetError",
+    "is_run_target",
+    "run_preset",
+    "scenario_job",
+]

@@ -9,6 +9,7 @@ events however they like.
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import Iterable, List, Optional, Sequence, TextIO
 
@@ -70,7 +71,7 @@ def render_event(event: ev.PipelineEvent) -> Optional[str]:
         return f"[{event.index}/{event.total}] {event.job_id}: done{seconds}{suffix}"
     if event.kind == ev.JOB_FAILED:
         return f"[{event.index}/{event.total}] {event.job_id}: FAILED {event.message}"
-    if event.kind == ev.FALLBACK:
+    if event.kind in (ev.FALLBACK, ev.ABORTED):
         return f"pipeline: {event.message}"
     if event.kind == ev.PIPELINE_DONE:
         seconds = f" in {event.seconds:.2f}s" if event.seconds is not None else ""
@@ -78,12 +79,36 @@ def render_event(event: ev.PipelineEvent) -> Optional[str]:
     return None
 
 
-def event_printer(stream: Optional[TextIO] = None) -> ev.EventCallback:
-    """An event callback that prints rendered events (the CLI's observer)."""
+def render_event_json(event: ev.PipelineEvent) -> str:
+    """One event as a compact JSON line (the wire format of the service).
+
+    Unlike :func:`render_event`, *every* event renders — including
+    ``job-start`` — because remote consumers track in-flight work from the
+    stream rather than from a shared terminal.  The object round-trips via
+    ``PipelineEvent(**json.loads(line))``.
+    """
+    return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def event_printer(
+    stream: Optional[TextIO] = None, fmt: str = "text"
+) -> ev.EventCallback:
+    """An event callback that prints rendered events (the CLI's observer).
+
+    Args:
+        stream: Output stream (default stdout).
+        fmt: ``"text"`` for the human one-liners (byte-identical to the
+            historical output) or ``"json"`` for one JSON object per line.
+    """
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown event format {fmt!r}")
     output = stream if stream is not None else sys.stdout
 
     def _print(event: ev.PipelineEvent) -> None:
-        line = render_event(event)
+        if fmt == "json":
+            line: Optional[str] = render_event_json(event)
+        else:
+            line = render_event(event)
         if line is not None:
             print(line, file=output, flush=True)
 

@@ -18,7 +18,12 @@ new scenario.
 """
 
 from repro.pipeline.events import EventLog, PipelineEvent
-from repro.pipeline.runner import derive_seed, run_jobs
+from repro.pipeline.runner import (
+    PipelineAborted,
+    derive_seed,
+    graceful_interrupts,
+    run_jobs,
+)
 from repro.pipeline.stages import (
     BuildSpec,
     Job,
@@ -35,11 +40,13 @@ __all__ = [
     "EventLog",
     "Job",
     "OptimizeParams",
+    "PipelineAborted",
     "PipelineEvent",
     "SimulateParams",
     "attach_persistent_throughputs",
     "derive_seed",
     "execute_job",
+    "graceful_interrupts",
     "job_store_key",
     "run_jobs",
 ]

@@ -17,6 +17,7 @@ JOB_START = "job-start"
 JOB_DONE = "job-done"
 JOB_FAILED = "job-failed"
 FALLBACK = "fallback"
+ABORTED = "aborted"
 PIPELINE_DONE = "pipeline-done"
 
 
@@ -43,6 +44,23 @@ class PipelineEvent:
     cached: bool = False
     seconds: Optional[float] = None
     message: str = ""
+
+    def to_dict(self) -> dict:
+        """Compact dictionary form (wire format): defaulted fields omitted.
+
+        ``PipelineEvent(**event.to_dict())`` round-trips, so remote consumers
+        can rebuild the dataclass from the JSON rendering.
+        """
+        out: dict = {"kind": self.kind}
+        for name in ("job_id", "index", "total", "shards", "seconds"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.cached:
+            out["cached"] = True
+        if self.message:
+            out["message"] = self.message
+        return out
 
 
 EventCallback = Callable[[PipelineEvent], None]

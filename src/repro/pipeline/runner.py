@@ -20,8 +20,12 @@ The parallel path degrades gracefully: if the platform cannot spawn workers
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
+import signal
+import sys
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -29,7 +33,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.pipeline import events as ev
 from repro.pipeline.stages import Job, execute_job, job_store_key
@@ -37,6 +41,71 @@ from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
 from repro.sim import cache as _sim_cache
 
 StoreLike = Union[ArtifactStore, str, os.PathLike, None]
+
+
+class PipelineAborted(RuntimeError):
+    """A run was stopped between jobs by a shutdown request.
+
+    Everything finished before the stop is recorded (and, with a store,
+    published), so a later re-run only pays for what is missing.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"pipeline aborted after {completed}/{total} job(s)"
+        )
+        self.completed = completed
+        self.total = total
+
+
+#: Set by :func:`graceful_interrupts` on the first SIGINT/SIGTERM; consulted
+#: by every :func:`run_jobs` call that was not given an explicit
+#: ``should_stop``, so one context manager covers arbitrarily nested sweeps.
+_INTERRUPT = threading.Event()
+
+
+@contextlib.contextmanager
+def graceful_interrupts(stream=None) -> Iterator[Callable[[], bool]]:
+    """Turn SIGINT/SIGTERM into a graceful pipeline drain.
+
+    The first signal only requests a stop: in-flight jobs finish, their
+    artifacts are published, and :func:`run_jobs` raises
+    :class:`PipelineAborted` at the next job boundary.  A second signal
+    raises :class:`KeyboardInterrupt` immediately (hard abort).
+
+    Yields the stop predicate (also usable as an explicit ``should_stop``).
+    Installing handlers is only possible in the main thread; elsewhere the
+    context manager degrades to the plain flag without touching handlers.
+    """
+    output = stream if stream is not None else sys.stderr
+
+    def _handler(signum, frame):
+        if _INTERRUPT.is_set():
+            raise KeyboardInterrupt
+        _INTERRUPT.set()
+        print(
+            "interrupt received: finishing in-flight job(s) "
+            "(interrupt again to abort hard)",
+            file=output,
+            flush=True,
+        )
+
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):  # non-main thread / exotic platform
+                pass
+        yield _INTERRUPT.is_set
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        _INTERRUPT.clear()
+
+
+def _default_should_stop() -> bool:
+    return _INTERRUPT.is_set()
 
 
 def derive_seed(root_seed: int, *labels: Any) -> int:
@@ -85,6 +154,23 @@ def _run_one(
     return payload, False
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: leave interrupt handling to the parent.
+
+    A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    group; without the SIG_IGN, every worker dies mid-job and the graceful
+    drain promised by :func:`graceful_interrupts` never gets to happen.
+    SIGTERM must go back to the default: fork-started workers inherit the
+    parent's graceful handler, which would swallow the ``terminate()`` the
+    hard-abort path sends and leave the workers running forever.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+
+
 def _worker(
     args: Tuple[Job, Optional[str]]
 ) -> Tuple[Dict[str, Any], bool, float]:
@@ -106,6 +192,7 @@ def run_jobs(
     shards: int = 1,
     store: StoreLike = None,
     events: Optional[ev.EventCallback] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> List[Dict[str, Any]]:
     """Run jobs and return their payloads in submission order.
 
@@ -115,9 +202,17 @@ def run_jobs(
         store: Artifact store (or its directory path) shared by all shards;
             None disables persistence.
         events: Structured progress callback; None ignores events.
+        should_stop: Polled between jobs; when it returns True the run
+            drains in-flight work, emits an ``aborted`` event and raises
+            :class:`PipelineAborted`.  Defaults to the flag set by
+            :func:`graceful_interrupts`.
+
+    Raises:
+        PipelineAborted: When ``should_stop`` requested a graceful stop.
     """
     jobs = list(jobs)
     emit = events if events is not None else (lambda event: None)
+    stop = should_stop if should_stop is not None else _default_should_stop
     resolved = _resolve_store(store)
     store_root = None if resolved is None else str(resolved.root)
     shards = max(1, int(shards))
@@ -129,10 +224,23 @@ def run_jobs(
     started = time.perf_counter()
     results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
 
+    def _abort() -> "PipelineAborted":
+        completed = sum(1 for payload in results if payload is not None)
+        emit(ev.PipelineEvent(
+            kind=ev.ABORTED, total=len(jobs), shards=effective,
+            message=f"stop requested; {completed}/{len(jobs)} job(s) "
+                    "completed and published",
+        ))
+        return PipelineAborted(completed, len(jobs))
+
     pending = list(range(len(jobs)))
     if effective > 1:
-        pending = _run_sharded(jobs, pending, results, effective, store_root, emit)
+        pending = _run_sharded(
+            jobs, pending, results, effective, store_root, emit, stop, _abort
+        )
     for index in pending:
+        if stop():
+            raise _abort()
         job = jobs[index]
         emit(ev.PipelineEvent(
             kind=ev.JOB_START, job_id=job.job_id, index=index + 1,
@@ -161,6 +269,38 @@ def run_jobs(
     return [payload for payload in results if payload is not None]
 
 
+def _drain_pool(
+    jobs: Sequence[Job],
+    futures: Dict[Any, int],
+    not_done,
+    results: List[Optional[Dict[str, Any]]],
+    emit: ev.EventCallback,
+    shards: int,
+) -> None:
+    """Graceful-stop drain: cancel queued futures, collect running ones.
+
+    Workers publish their own artifacts, so anything that finishes during
+    the drain is both recorded here and persisted on disk.
+    """
+    total = len(jobs)
+    for future in not_done:
+        future.cancel()
+    done, _ = wait(not_done)
+    for future in done:
+        if future.cancelled():
+            continue
+        index = futures[future]
+        try:
+            payload, cached, seconds = future.result()
+        except BaseException:
+            continue  # a failing in-flight job does not outrank the abort
+        results[index] = payload
+        emit(ev.PipelineEvent(
+            kind=ev.JOB_DONE, job_id=jobs[index].job_id, index=index + 1,
+            total=total, shards=shards, cached=cached, seconds=seconds,
+        ))
+
+
 def _run_sharded(
     jobs: Sequence[Job],
     pending: List[int],
@@ -168,6 +308,8 @@ def _run_sharded(
     shards: int,
     store_root: Optional[str],
     emit: ev.EventCallback,
+    stop: Callable[[], bool],
+    abort: Callable[[], "PipelineAborted"],
 ) -> List[int]:
     """Fan ``pending`` job indices across a process pool.
 
@@ -175,44 +317,72 @@ def _run_sharded(
     """
     total = len(jobs)
     job_failures: List[BaseException] = []
+    pool = None
     try:
-        with ProcessPoolExecutor(max_workers=shards) as pool:
-            futures = {}
-            for index in pending:
-                job = jobs[index]
-                emit(ev.PipelineEvent(
-                    kind=ev.JOB_START, job_id=job.job_id, index=index + 1,
-                    total=total, shards=shards,
-                ))
-                futures[pool.submit(_worker, (job, store_root))] = index
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    try:
-                        payload, cached, seconds = future.result()
-                    except BrokenExecutor:
-                        raise
-                    except Exception as exc:
-                        # The *job* failed (solver error, bad scenario...):
-                        # that is deterministic, so a serial rerun would only
-                        # repeat it — surface it exactly like the serial path.
-                        emit(ev.PipelineEvent(
-                            kind=ev.JOB_FAILED, job_id=jobs[index].job_id,
-                            index=index + 1, total=total, shards=shards,
-                            message=repr(exc),
-                        ))
-                        job_failures.append(exc)
-                        raise
-                    results[index] = payload
+        pool = ProcessPoolExecutor(max_workers=shards, initializer=_worker_init)
+        futures = {}
+        for index in pending:
+            job = jobs[index]
+            emit(ev.PipelineEvent(
+                kind=ev.JOB_START, job_id=job.job_id, index=index + 1,
+                total=total, shards=shards,
+            ))
+            futures[pool.submit(_worker, (job, store_root))] = index
+        not_done = set(futures)
+        while not_done:
+            if stop():
+                _drain_pool(jobs, futures, not_done, results, emit, shards)
+                raise abort()
+            # The timeout bounds how long a stop request can sit unnoticed:
+            # without it the drain would only begin at the *next* job
+            # completion, which can be many minutes into a long MILP.
+            done, not_done = wait(
+                not_done, timeout=0.5, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                index = futures[future]
+                try:
+                    payload, cached, seconds = future.result()
+                except BrokenExecutor:
+                    raise
+                except Exception as exc:
+                    # The *job* failed (solver error, bad scenario...):
+                    # that is deterministic, so a serial rerun would only
+                    # repeat it — surface it exactly like the serial path.
                     emit(ev.PipelineEvent(
-                        kind=ev.JOB_DONE, job_id=jobs[index].job_id,
+                        kind=ev.JOB_FAILED, job_id=jobs[index].job_id,
                         index=index + 1, total=total, shards=shards,
-                        cached=cached, seconds=seconds,
+                        message=repr(exc),
                     ))
+                    job_failures.append(exc)
+                    raise
+                results[index] = payload
+                emit(ev.PipelineEvent(
+                    kind=ev.JOB_DONE, job_id=jobs[index].job_id,
+                    index=index + 1, total=total, shards=shards,
+                    cached=cached, seconds=seconds,
+                ))
+        pool.shutdown(wait=True)
         return []
+    except KeyboardInterrupt:
+        # Hard abort (e.g. a second Ctrl-C): never let the executor's exit
+        # path run every still-queued job to completion — and terminate the
+        # running workers, or the interpreter's atexit join would block on
+        # them anyway and the "abort" would still take minutes.
+        if pool is not None:
+            # Snapshot first: shutdown() drops the _processes reference even
+            # with wait=False, and the handles are needed to terminate.
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except (OSError, AttributeError):
+                    pass
+        raise
     except (BrokenExecutor, OSError, ImportError) as exc:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
         if any(failure is exc for failure in job_failures):
             # A deterministic job failure that happens to share a type with
             # pool breakage (e.g. an OSError from inside a stage): a serial
@@ -228,3 +398,9 @@ def _run_sharded(
                     f"running {len(remaining)} job(s) serially",
         ))
         return remaining
+    except BaseException:
+        # Job failure or graceful abort: drop queued jobs, let the running
+        # workers finish (they publish their own artifacts), propagate.
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        raise

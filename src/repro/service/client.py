@@ -1,0 +1,304 @@
+"""Thin clients for the optimization service (sync and async).
+
+:class:`ServiceClient` is the blocking client the CLI uses
+(``python -m repro submit``); :class:`AsyncServiceClient` is the same
+surface over asyncio streams for callers already on an event loop.  Both
+speak the JSON protocol of :mod:`repro.service.server` and expose:
+
+* ``submit(body)`` / ``submit_run(target, options)`` /
+  ``submit_simulate(...)`` — admission (raises :class:`ServiceBusy` on 429);
+* ``status(id)`` / ``result(id)`` / ``stats()`` — the read endpoints;
+* ``wait(id, on_event=...)`` — poll until done, streaming newly observed
+  pipeline events to ``on_event`` (incremental ``events_from`` cursors, so
+  each event is delivered exactly once);
+* ``submit_and_wait(...)`` — the one-call convenience the CLI uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Callable, Dict, Mapping, Optional
+
+OnEvent = Callable[[Dict[str, Any]], None]
+
+
+class ServiceError(RuntimeError):
+    """Any non-success response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceBusy(ServiceError):
+    """The service shed the request (429 queue full / 503 draining)."""
+
+
+class RequestFailed(ServiceError):
+    """The request executed and failed server-side."""
+
+
+def _raise_for(status: int, payload: Any) -> None:
+    message = ""
+    if isinstance(payload, Mapping):
+        message = str(payload.get("error", ""))
+    if status in (429, 503):
+        raise ServiceBusy(status, message or "service busy")
+    raise ServiceError(status, message or "request rejected")
+
+
+class ServiceClient:
+    """Blocking JSON client over :mod:`http.client` (stdlib only)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            data = json.loads(raw.decode("utf-8")) if raw else None
+            status = response.status
+        finally:
+            connection.close()
+        if status == 202:
+            return data
+        if status >= 400:
+            _raise_for(status, data)
+        return data
+
+    # -- endpoints ----------------------------------------------------------
+
+    def submit(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/submit", body)
+
+    def submit_run(
+        self, target: str, options: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return self.submit({
+            "kind": "run", "target": target, "options": dict(options or {}),
+        })
+
+    def submit_simulate(self, scenario: str, **spec: Any) -> Dict[str, Any]:
+        return self.submit({"kind": "simulate", "scenario": scenario, **spec})
+
+    def status(self, request_id: str, events_from: int = 0) -> Dict[str, Any]:
+        path = f"/status/{request_id}"
+        if events_from:
+            path += f"?events_from={events_from}"
+        return self._request("GET", path)
+
+    def result(self, request_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/result/{request_id}")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError, ValueError):
+            return False
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown", {})
+
+    # -- convenience --------------------------------------------------------
+
+    def wait(
+        self,
+        request_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+        on_event: Optional[OnEvent] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the request finishes; returns the result document.
+
+        ``on_event`` receives each newly observed pipeline-event dict once,
+        in order — the polling consumer of the server's event stream.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            status = self.status(request_id, events_from=cursor)
+            events = status.get("events", [])
+            if on_event is not None:
+                for event in events:
+                    on_event(event)
+            cursor = int(status.get("events_seen", cursor + len(events)))
+            state = status.get("status")
+            if state == "done":
+                return self.result(request_id)
+            if state == "failed":
+                raise RequestFailed(500, str(status.get("error", "failed")))
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"request {request_id} still {state!r} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def submit_and_wait(
+        self,
+        body: Mapping[str, Any],
+        timeout: Optional[float] = None,
+        on_event: Optional[OnEvent] = None,
+    ) -> Dict[str, Any]:
+        record = self.submit(body)
+        if record.get("status") == "done":
+            return self.result(record["id"])
+        return self.wait(record["id"], timeout=timeout, on_event=on_event)
+
+    def wait_until_healthy(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthy():
+                return
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"service at {self.host}:{self.port} not healthy after {timeout}s"
+        )
+
+
+class AsyncServiceClient:
+    """The same surface over asyncio streams (for event-loop callers)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def _request(self, method: str, path: str, body: Any = None) -> Any:
+        # One timeout over the whole exchange (connect, write, read): a
+        # server stalling after the status line must not hang the caller.
+        status, raw = await asyncio.wait_for(
+            self._exchange(method, path, body), timeout=self.timeout
+        )
+        data = json.loads(raw.decode("utf-8")) if raw else None
+        if status == 202:
+            return data
+        if status >= 400:
+            _raise_for(status, data)
+        return data
+
+    async def _exchange(self, method: str, path: str, body: Any):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = b"" if body is None else json.dumps(body).encode("utf-8")
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(" ", 2)
+            status = int(parts[1]) if len(parts) > 1 else 500
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip() or 0)
+            raw = await reader.readexactly(length) if length else b""
+            return status, raw
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def submit(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        return await self._request("POST", "/submit", body)
+
+    async def submit_run(
+        self, target: str, options: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return await self.submit({
+            "kind": "run", "target": target, "options": dict(options or {}),
+        })
+
+    async def submit_simulate(self, scenario: str, **spec: Any) -> Dict[str, Any]:
+        return await self.submit(
+            {"kind": "simulate", "scenario": scenario, **spec}
+        )
+
+    async def status(
+        self, request_id: str, events_from: int = 0
+    ) -> Dict[str, Any]:
+        path = f"/status/{request_id}"
+        if events_from:
+            path += f"?events_from={events_from}"
+        return await self._request("GET", path)
+
+    async def result(self, request_id: str) -> Dict[str, Any]:
+        return await self._request("GET", f"/result/{request_id}")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._request("GET", "/stats")
+
+    async def wait(
+        self,
+        request_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+        on_event: Optional[OnEvent] = None,
+    ) -> Dict[str, Any]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            status = await self.status(request_id, events_from=cursor)
+            events = status.get("events", [])
+            if on_event is not None:
+                for event in events:
+                    on_event(event)
+            cursor = int(status.get("events_seen", cursor + len(events)))
+            state = status.get("status")
+            if state == "done":
+                return await self.result(request_id)
+            if state == "failed":
+                raise RequestFailed(500, str(status.get("error", "failed")))
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"request {request_id} still {state!r} after {timeout}s"
+                )
+            await asyncio.sleep(poll_interval)
+
+    async def submit_and_wait(
+        self,
+        body: Mapping[str, Any],
+        timeout: Optional[float] = None,
+        on_event: Optional[OnEvent] = None,
+    ) -> Dict[str, Any]:
+        record = await self.submit(body)
+        if record.get("status") == "done":
+            return await self.result(record["id"])
+        return await self.wait(record["id"], timeout=timeout, on_event=on_event)

@@ -1,0 +1,381 @@
+"""The asyncio JSON-over-HTTP front of the optimization service.
+
+Stdlib only: a tiny HTTP/1.1 implementation over ``asyncio.start_server``
+(the request bodies and responses are small JSON documents; no keep-alive,
+no chunking).  Endpoints:
+
+========================  ====================================================
+``POST /submit``          Admit a request; 200 with the record (may already
+                          be ``done`` on a cache hit), 400 malformed,
+                          429 queue full, 503 draining.
+``GET /status/<id>``      Record status + progress events.  ``?events_from=N``
+                          returns only events N onwards (incremental
+                          streaming for polling clients).
+``GET /result/<id>``      The result document (200), 202 while pending,
+                          404 unknown, 500 failed.
+``GET /stats``            Broker/cache/queue counters.
+``GET /healthz``          Liveness probe.
+``POST /shutdown``        Graceful drain + exit (what SIGTERM does).
+========================  ====================================================
+
+Shutdown: the first SIGINT/SIGTERM stops admission (new submits get 503),
+drains queued and in-flight work — publishing artifacts as jobs finish —
+then exits 0.  A second signal aborts hard and the process exits nonzero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.broker import Broker
+from repro.service.protocol import (
+    QueueFullError,
+    RequestError,
+    ShuttingDownError,
+)
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Refuse to buffer absurd request bodies (admission control for bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceServer:
+    """One service instance: a broker behind an HTTP listener."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        store: Optional[str] = None,
+        shards: int = 1,
+        queue_limit: int = 32,
+        l1_size: int = 256,
+        quiet: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.quiet = quiet
+        self.broker = Broker(
+            store=store, shards=shards, queue_limit=queue_limit, l1_size=l1_size
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._exit_code = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.broker.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        self._log(f"service: listening on http://{self.host}:{self.port}")
+
+    async def serve_until_shutdown(self) -> int:
+        """Block until a shutdown is requested; returns the exit code."""
+        await self._shutdown.wait()
+        await self.stop(drain=self._exit_code == 0)
+        return self._exit_code
+
+    async def stop(self, drain: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            self._log("service: draining in-flight work")
+        await self.broker.close(drain=drain)
+        self._log("service: stopped")
+
+    def request_shutdown(self, exit_code: int = 0) -> None:
+        """Ask the serve loop to stop (idempotent, loop-thread only)."""
+        self._exit_code = exit_code or self._exit_code
+        self._shutdown.set()
+
+    def install_signal_handlers(self, loop: asyncio.AbstractEventLoop) -> None:
+        """First SIGINT/SIGTERM drains gracefully; the second aborts (exit 1)."""
+        def _signal() -> None:
+            if not self._shutdown.is_set():
+                self._log(
+                    "service: shutdown requested — draining "
+                    "(signal again to abort)"
+                )
+                self.request_shutdown(0)
+            else:
+                self._log("service: hard abort")
+                # The compute executor's threads are non-daemon and joined
+                # by the interpreter's atexit hook, so any graceful exit
+                # would still block behind an in-flight MILP sweep.  A hard
+                # abort means now.
+                os._exit(1)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _signal)
+            except (NotImplementedError, RuntimeError):
+                pass
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(message, flush=True)
+
+    # -- HTTP ---------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            # Bound the read: a client that connects and stalls must not pin
+            # a handler task and its socket forever.
+            request = await asyncio.wait_for(
+                self._read_request(reader), timeout=30
+            )
+            if request is None:
+                return
+            method, path, body = request
+            status, payload = await self._route(method, path, body)
+            await self._respond(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 — a bad request must not kill the server
+            try:
+                await self._respond(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Any]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, path, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > MAX_BODY_BYTES:
+            # Drain (and discard) the body so the 400 reaches the client
+            # instead of a connection reset from closing with bytes unread.
+            remaining = length
+            while remaining > 0:
+                chunk = await reader.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            return method.upper(), path, {"__oversized__": True}
+        raw = await reader.readexactly(length) if length else b""
+        body: Any = None
+        if raw:
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                body = {"__malformed__": True}
+        return method.upper(), path, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _route(
+        self, method: str, path: str, body: Any
+    ) -> Tuple[int, Any]:
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
+        if isinstance(body, dict) and body.get("__oversized__"):
+            return 400, {"error": "request body too large"}
+        if isinstance(body, dict) and body.get("__malformed__"):
+            return 400, {"error": "request body is not valid JSON"}
+
+        if method == "POST" and path == "/submit":
+            return await self._submit(body)
+        if method == "GET" and path.startswith("/status/"):
+            return self._status(path[len("/status/"):], query)
+        if method == "GET" and path.startswith("/result/"):
+            return self._result(path[len("/result/"):])
+        if method == "GET" and path == "/stats":
+            return 200, self.broker.stats()
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True, "accepting": self.broker.accepting}
+        if method == "POST" and path == "/shutdown":
+            # Answer first, then stop: request_shutdown only sets an event.
+            asyncio.get_running_loop().call_soon(self.request_shutdown, 0)
+            return 200, {"ok": True, "draining": True}
+        return 404, {"error": f"no route {method} {path}"}
+
+    async def _submit(self, body: Any) -> Tuple[int, Any]:
+        try:
+            record = await self.broker.submit(body)
+        except RequestError as exc:
+            return 400, {"error": str(exc)}
+        except QueueFullError as exc:
+            return 429, {"error": str(exc), "retry_after": 1}
+        except ShuttingDownError as exc:
+            return 503, {"error": str(exc)}
+        return 200, record.describe()
+
+    def _status(self, request_id: str, query: str) -> Tuple[int, Any]:
+        record = self.broker.get(request_id)
+        if record is None:
+            return 404, {"error": f"unknown request {request_id!r}"}
+        events_from = 0
+        if query.startswith("events_from="):
+            try:
+                events_from = max(0, int(query.split("=", 1)[1]))
+            except ValueError:
+                events_from = 0
+        return 200, record.describe(events_from=events_from)
+
+    def _result(self, request_id: str) -> Tuple[int, Any]:
+        record = self.broker.get(request_id)
+        if record is None:
+            return 404, {"error": f"unknown request {request_id!r}"}
+        status = record.status
+        if status == "failed":
+            return 500, {"id": record.id, "status": status, "error": record.error}
+        if status != "done":
+            return 202, {"id": record.id, "status": status}
+        return 200, {
+            "id": record.id,
+            "status": status,
+            "cached": record.cached,
+            "result": record.result,
+        }
+
+
+async def _serve_async(server: ServiceServer) -> int:
+    loop = asyncio.get_running_loop()
+    await server.start()
+    server.install_signal_handlers(loop)
+    try:
+        return await server.serve_until_shutdown()
+    except asyncio.CancelledError:
+        # Hard abort path: tasks were cancelled by the second signal.
+        await server.stop(drain=False)
+        return 1
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    store: Optional[str] = None,
+    shards: int = 1,
+    queue_limit: int = 32,
+    quiet: bool = False,
+) -> int:
+    """Run the service until shutdown; returns the process exit code."""
+    server = ServiceServer(
+        host=host, port=port, store=store, shards=shards,
+        queue_limit=queue_limit, quiet=quiet,
+    )
+    try:
+        return asyncio.run(_serve_async(server))
+    except KeyboardInterrupt:
+        return 1
+
+
+class ServerThread:
+    """A service running on a daemon thread (tests, benchmarks, notebooks).
+
+    Usage::
+
+        with ServerThread(store=path) as server:
+            client = ServiceClient(port=server.port)
+            ...
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("quiet", True)
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[ServiceServer] = None
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread did not become ready")
+        if self.error is not None:
+            raise RuntimeError(f"service failed to start: {self.error!r}")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            server = ServiceServer(**self._kwargs)
+            try:
+                await server.start()
+            except BaseException as exc:  # noqa: BLE001 — surface to starter
+                self.error = exc
+                self._ready.set()
+                return
+            self.server = server
+            self.port = server.port
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await server.serve_until_shutdown()
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown, 0)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -29,9 +29,13 @@ from repro.sim.scalar import ScalarSimulator
 Source = Union[RRG, RRConfiguration]
 
 
-def _default_warmup(cycles: int) -> int:
-    # Same default as the reference simulators' wrappers.
+def default_warmup(cycles: int) -> int:
+    """The warmup the wrappers use when none is given (reference default)."""
     return max(200, cycles // 10)
+
+
+# Historical private name, kept for callers inside the package.
+_default_warmup = default_warmup
 
 
 def _resolve_vectors(
@@ -124,21 +128,65 @@ def simulate_configurations(
 
     base = configurations[0].rrg
     fingerprint = _cache.rrg_fingerprint(base)
-    results: List[Optional[float]] = [None] * len(configurations)
-    misses: List[int] = []
-    keys: List[Tuple] = []
-    for index, configuration in enumerate(configurations):
+    for configuration in configurations:
         if configuration.rrg is not base and (
             _cache.rrg_fingerprint(configuration.rrg) != fingerprint
         ):
             raise ValueError(
                 "simulate_configurations requires configurations of the same RRG"
             )
+    vectors = [
+        (configuration.token_vector(), configuration.buffer_vector())
+        for configuration in configurations
+    ]
+    return simulate_vectors(
+        base,
+        vectors,
+        cycles=cycles,
+        warmup=warmup,
+        seeds=lane_seeds,
+        mode=mode,
+        use_cache=use_cache,
+    )
+
+
+def simulate_vectors(
+    rrg: RRG,
+    vectors: Sequence[Tuple[Dict[int, int], Dict[int, int]]],
+    cycles: int = 10000,
+    warmup: Optional[int] = None,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    mode: str = "tgmg",
+    use_cache: bool = True,
+) -> List[float]:
+    """Simulate many (token, buffer) markings of one RRG in one batched run.
+
+    The marking-level core of :func:`simulate_configurations`, exposed for
+    callers (the optimization service) whose lanes are described by raw
+    vectors rather than :class:`RRConfiguration` objects.  Each lane runs
+    with its own compat-mode RNG, so results are bit-identical to serial
+    :func:`simulate_throughput_vector` calls with the same vectors.
+    """
+    if not vectors:
+        return []
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    if warmup is None:
+        warmup = _default_warmup(cycles)
+    lane_seeds = list(seeds) if seeds is not None else [None] * len(vectors)
+    if len(lane_seeds) != len(vectors):
+        raise ValueError("need one seed per lane")
+
+    fingerprint = _cache.rrg_fingerprint(rrg)
+    results: List[Optional[float]] = [None] * len(vectors)
+    misses: List[int] = []
+    keys: List[Tuple] = []
+    for index, (token_vector, buffer_vector) in enumerate(vectors):
         key = _cache.throughput_key(
             fingerprint,
             mode,
-            configuration.token_vector(),
-            configuration.buffer_vector(),
+            token_vector,
+            buffer_vector,
             cycles,
             warmup,
             lane_seeds[index],
@@ -153,11 +201,9 @@ def simulate_configurations(
             misses.append(index)
 
     if misses:
-        template = _cache.compiled_template_for(base, mode=mode)
+        template = _cache.compiled_template_for(rrg, mode=mode)
         models = [
-            template.instantiate(
-                configurations[i].token_vector(), configurations[i].buffer_vector()
-            )
+            template.instantiate(vectors[i][0], vectors[i][1])
             for i in misses
         ]
         # Strategy: the array wavefront amortises its per-wave call overhead

@@ -51,8 +51,13 @@ def vector_key(vector: Mapping[int, int]) -> Tuple[Tuple[int, int], ...]:
     return tuple(sorted((int(k), int(v)) for k, v in vector.items()))
 
 
-class _LruCache:
-    """A tiny LRU dictionary with hit/miss counters."""
+class LruCache:
+    """A tiny LRU dictionary with hit/miss counters.
+
+    Public because it is the in-process tier of every cache front in the
+    repository: the template/throughput caches below and the request-result
+    cache of :mod:`repro.service` all count hits and misses through it.
+    """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
@@ -84,9 +89,21 @@ class _LruCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (the exported accounting interface)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
 
-_TEMPLATES = _LruCache(maxsize=64)
-_THROUGHPUTS = _LruCache(maxsize=4096)
+
+#: Backwards-compatible alias of the pre-export name.
+_LruCache = LruCache
+
+_TEMPLATES = LruCache(maxsize=64)
+_THROUGHPUTS = LruCache(maxsize=4096)
 
 # Optional persistent layer behind the in-memory throughput cache.  The
 # backend exposes ``get(key) -> Optional[float]`` and ``put(key, value)``;

@@ -70,9 +70,17 @@ class ScenarioSpec:
     family: str = "example"
     tags: Tuple[str, ...] = ()
 
-    def build(self, **overrides: object) -> RRG:
-        """Build the RRG with ``defaults`` overridden by ``overrides``."""
+    def normalize(self, overrides: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+        """Defaults merged with ``overrides``, validated but not built.
+
+        This is the canonical parameter set of one scenario instance: the
+        service validates remote requests with it (rejecting unknown
+        parameters before anything is queued) and uses the result for
+        request keys, so an explicitly-passed default and an omitted one
+        key identically.
+        """
         params = dict(self.defaults)
+        overrides = dict(overrides or {})
         unknown = set(overrides) - set(self.defaults)
         if unknown:
             raise ScenarioError(
@@ -80,7 +88,11 @@ class ScenarioSpec:
                 f"available: {sorted(self.defaults)}"
             )
         params.update(overrides)
-        return self.builder(**params)
+        return params
+
+    def build(self, **overrides: object) -> RRG:
+        """Build the RRG with ``defaults`` overridden by ``overrides``."""
+        return self.builder(**self.normalize(overrides))
 
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -124,6 +136,19 @@ def list_scenarios(
 def build_scenario(name: str, params: Optional[Mapping[str, object]] = None) -> RRG:
     """Build one scenario instance (the workers' entry point)."""
     return scenario(name).build(**dict(params or {}))
+
+
+def resolve_scenario(
+    name: str, params: Optional[Mapping[str, object]] = None
+) -> Tuple[ScenarioSpec, Dict[str, object]]:
+    """Spec-by-name resolution for remote requests.
+
+    Returns the spec and the fully-normalized parameter dict; raises
+    :class:`ScenarioError` for unknown names or parameters, so a service can
+    turn bad input into a 400 without building anything.
+    """
+    spec = scenario(name)
+    return spec, spec.normalize(params)
 
 
 def expand_grid(**axes: Sequence[object]) -> List[Dict[str, object]]:

@@ -112,3 +112,67 @@ class TestRunReportRoundtrip:
         bad.write_text("[]", encoding="utf-8")
         assert main(["report", str(bad)]) == 2
         assert main(["report", str(tmp_path / "missing.json")]) == 2
+
+
+class TestEventFormats:
+    def test_json_events_stream_one_object_per_line(self, capsys):
+        code = main([
+            "run", "figure1a", "--param", "alpha=0.9",
+            "--cycles", "500", "--epsilon", "0.2", "--events", "json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()
+                  if line.startswith("{")]
+        kinds = [event["kind"] for event in events]
+        assert "pipeline-start" in kinds
+        assert "job-start" in kinds  # json mode renders every event
+        assert "pipeline-done" in kinds
+
+    def test_text_output_is_unchanged_by_the_json_renderer(self, capsys):
+        args = ["run", "figure1a", "--param", "alpha=0.9",
+                "--cycles", "500", "--epsilon", "0.2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "pipeline: 1 job(s), serial" in out
+        assert "job-start" not in out  # text mode still skips job-start
+
+
+class TestServeAndSubmit:
+    def test_submit_matches_run_and_hits_cache(self, tmp_path, capsys):
+        from repro.service import ServerThread, ServiceClient
+
+        with ServerThread(store=str(tmp_path / "store")) as server:
+            ServiceClient(port=server.port).wait_until_healthy()
+            run_args = ["run", "figure1a", "--param", "alpha=0.9",
+                        "--cycles", "600", "--epsilon", "0.2", "--quiet"]
+            submit_args = [
+                "submit", "figure1a", "--port", str(server.port),
+                "--param", "alpha=0.9", "--cycles", "600",
+                "--epsilon", "0.2", "--quiet",
+            ]
+            assert main(run_args) == 0
+            direct = capsys.readouterr().out
+            assert main(submit_args) == 0
+            via_service = capsys.readouterr().out
+            assert via_service == direct  # bit-identical rendering
+            # The repeat answers from cache and says so when not quiet.
+            assert main(submit_args[:-1]) == 0
+            repeat = capsys.readouterr().out
+            assert "answered from memory cache" in repeat
+
+    def test_submit_unknown_target_is_a_clean_error(self, capsys):
+        from repro.service import ServerThread, ServiceClient
+
+        with ServerThread() as server:
+            ServiceClient(port=server.port).wait_until_healthy()
+            code = main(["submit", "definitely-not-a-target",
+                         "--port", str(server.port), "--quiet"])
+            assert code == 2
+            assert "unknown run target" in capsys.readouterr().err
+
+    def test_submit_against_no_server_fails_cleanly(self, capsys):
+        code = main(["submit", "figure1a", "--port", "1",  # nothing listens
+                     "--quiet", "--timeout", "2"])
+        assert code == 2
+        assert "service error" in capsys.readouterr().err

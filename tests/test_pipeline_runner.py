@@ -151,3 +151,111 @@ class TestEvaluateOnlyJobs:
         assert evaluate["exact"] == pytest.approx(1 / (3 - 2 * 0.9), abs=1e-4)
         assert evaluate["lp_bound"] + 1e-9 >= evaluate["exact"]
         assert evaluate["simulated"] == pytest.approx(evaluate["exact"], abs=0.05)
+
+
+class TestGracefulStop:
+    def test_stop_between_jobs_raises_aborted_and_keeps_results(self):
+        from repro.pipeline.runner import PipelineAborted
+
+        jobs = pareto_jobs()
+        done = []
+        log = EventLog()
+
+        def stop_after_first():
+            return len(done) >= 1
+
+        def observe(event):
+            log(event)
+            if event.kind == ev.JOB_DONE:
+                done.append(event.job_id)
+
+        with pytest.raises(PipelineAborted) as info:
+            run_jobs(jobs, events=observe, should_stop=stop_after_first)
+        assert info.value.completed == 1
+        assert info.value.total == 2
+        aborted = log.of_kind(ev.ABORTED)
+        assert len(aborted) == 1
+        assert "1/2" in aborted[0].message
+        # The pipeline never reported completion.
+        assert log.of_kind(ev.PIPELINE_DONE) == []
+
+    def test_completed_jobs_stay_published_in_the_store(self, tmp_path):
+        from repro.pipeline.runner import PipelineAborted
+        from repro.pipeline.store import ArtifactStore
+
+        store = tmp_path / "store"
+        jobs = pareto_jobs()
+        done = []
+
+        def observe(event):
+            if event.kind == ev.JOB_DONE:
+                done.append(event.job_id)
+
+        with pytest.raises(PipelineAborted):
+            run_jobs(jobs, store=store, events=observe,
+                     should_stop=lambda: len(done) >= 1)
+        # The aborted run published the completed job: a re-run serves it
+        # from the store and only computes the remainder.
+        log = EventLog()
+        payloads = run_jobs(jobs, store=store, events=log)
+        assert len(payloads) == 2
+        assert log.cached_jobs == 1
+
+    def test_graceful_interrupts_flag_drives_default_stop(self):
+        import signal
+
+        from repro.pipeline.runner import PipelineAborted, graceful_interrupts
+
+        jobs = pareto_jobs()
+        log = EventLog()
+
+        def observe(event):
+            log(event)
+            if event.kind == ev.JOB_DONE:
+                # Simulate Ctrl-C arriving mid-run: the installed handler
+                # sets the shared flag that run_jobs polls by default.
+                signal.raise_signal(signal.SIGINT)
+
+        import io
+
+        with pytest.raises(PipelineAborted):
+            with graceful_interrupts(stream=io.StringIO()):
+                run_jobs(jobs, events=observe)
+        assert len(log.of_kind(ev.ABORTED)) == 1
+
+    def test_flag_is_cleared_after_the_context(self):
+        from repro.pipeline import runner as r
+
+        assert not r._INTERRUPT.is_set()
+        payloads = run_jobs(pareto_jobs()[:1])
+        assert payloads  # unaffected runs still work
+
+    def test_sharded_stop_drains_and_aborts(self):
+        from repro.pipeline.runner import PipelineAborted
+
+        from dataclasses import replace
+
+        # Six jobs across two shards, with unique ids.
+        jobs = [
+            replace(job, job_id=f"{job.job_id}-{i}")
+            for i in range(3)
+            for job in pareto_jobs()
+        ]
+        done = []
+        log = EventLog()
+
+        def observe(event):
+            log(event)
+            if event.kind == ev.JOB_DONE:
+                done.append(event.job_id)
+
+        with pytest.raises(PipelineAborted) as info:
+            run_jobs(jobs, shards=2, events=observe,
+                     should_stop=lambda: len(done) >= 1)
+        # At least the first job completed; the rest were cancelled or
+        # allowed to finish during the drain (on a fast host possibly all
+        # of them), never silently dropped.
+        assert 1 <= info.value.completed <= len(jobs)
+        assert info.value.completed == len(log.of_kind(ev.JOB_DONE))
+        assert len(log.of_kind(ev.ABORTED)) == 1
+        assert log.of_kind(ev.PIPELINE_DONE) == []

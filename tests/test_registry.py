@@ -106,3 +106,24 @@ class TestFamilies:
         assert len(instances) == 4
         names = {params["name"] for _, params in instances}
         assert names == {"s27", "s208"}
+
+
+class TestResolveScenario:
+    def test_normalizes_defaults_and_overrides(self):
+        from repro.workloads.registry import resolve_scenario
+
+        spec, params = resolve_scenario("figure1a", {"alpha": 0.9})
+        assert spec.name == "figure1a"
+        assert params == {"alpha": 0.9}
+        _, defaulted = resolve_scenario("iscas", {"name": "s27"})
+        assert defaulted == {"name": "s27", "scale": 1.0, "seed": 2009}
+
+    def test_rejects_unknown_names_and_params(self):
+        import pytest
+
+        from repro.workloads.registry import ScenarioError, resolve_scenario
+
+        with pytest.raises(ScenarioError):
+            resolve_scenario("no-such-scenario")
+        with pytest.raises(ScenarioError):
+            resolve_scenario("figure1a", {"beta": 1.0})

@@ -1,0 +1,543 @@
+"""Tests for the optimization service (repro.service).
+
+Covers the protocol (validation + cache keys), the broker (coalescing,
+tiered caching, batching, backpressure) and the HTTP server/client pair
+end-to-end, including the acceptance property: a result served over HTTP is
+bit-identical to the direct pipeline run.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.experiments.presets import RunOptions, run_preset
+from repro.experiments.reporting import render_event_json
+from repro.pipeline.events import PipelineEvent
+from repro.service import (
+    Broker,
+    RequestError,
+    ServerThread,
+    ServiceBusy,
+    ServiceClient,
+    prepare_request,
+)
+from repro.service.client import RequestFailed, ServiceError
+from repro.sim.batch import simulate_throughput_vector
+from repro.sim.cache import clear_caches
+from repro.workloads.registry import build_scenario
+
+#: A fast run request used throughout (sub-second end to end).
+RUN_BODY = {
+    "kind": "run",
+    "target": "figure1a",
+    "options": {"params": {"alpha": 0.9}, "cycles": 600, "epsilon": 0.2},
+}
+
+SIM_BODY = {
+    "kind": "simulate",
+    "scenario": "figure2",
+    "params": {"alpha": 0.8},
+    "cycles": 500,
+    "seed": 3,
+}
+
+
+class TestProtocol:
+    def test_rejects_malformed_bodies(self):
+        with pytest.raises(RequestError):
+            prepare_request(["not", "an", "object"])
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "teleport"})
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "run"})  # no target
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "run", "target": "no-such-target"})
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "run", "target": "figure1a",
+                             "options": {"bogus_option": 1}})
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "run", "target": "figure1a",
+                             "options": {"params": {"nope": 1}}})
+
+    def test_rejects_bad_simulate_requests(self):
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "simulate"})
+        with pytest.raises(RequestError):
+            prepare_request({**SIM_BODY, "mode": "spice"})
+        with pytest.raises(RequestError):
+            prepare_request({**SIM_BODY, "cycles": 0})
+        with pytest.raises(RequestError):
+            prepare_request({**SIM_BODY, "seed": None})
+        with pytest.raises(RequestError):
+            prepare_request({**SIM_BODY, "tokens": {"999": 1}})
+        with pytest.raises(RequestError):
+            prepare_request({**SIM_BODY, "params": {"alpha": 0.8, "beta": 1}})
+
+    def test_simulate_key_normalizes_defaults(self):
+        # Explicitly passing a default parameter must key identically to
+        # omitting it — otherwise the cache fragments on spelling.
+        explicit = prepare_request({**SIM_BODY, "warmup": None})
+        spelled = prepare_request({
+            **SIM_BODY,
+            "warmup": max(200, SIM_BODY["cycles"] // 10),
+            "mode": "tgmg",
+        })
+        assert explicit.key == spelled.key
+        assert explicit.batch_key == spelled.batch_key
+
+    def test_scenario_run_key_tracks_job_identity(self):
+        a = prepare_request(RUN_BODY)
+        b = prepare_request(json.loads(json.dumps(RUN_BODY)))
+        assert a.key == b.key
+        different = prepare_request({
+            **RUN_BODY,
+            "options": {**RUN_BODY["options"], "cycles": 601},
+        })
+        assert different.key != a.key
+
+    def test_compatible_simulations_share_a_batch_key(self):
+        a = prepare_request(SIM_BODY)
+        b = prepare_request({**SIM_BODY, "seed": 4, "tokens": {"0": 1}})
+        incompatible = prepare_request({**SIM_BODY, "cycles": 600})
+        assert a.batch_key == b.batch_key
+        assert a.key != b.key
+        assert incompatible.batch_key != a.batch_key
+
+
+class TestRunOptions:
+    def test_from_mapping_rejects_unknown_keys(self):
+        with pytest.raises(Exception):
+            RunOptions.from_mapping({"cycle_count": 5})
+
+    def test_from_mapping_coerces_or_rejects_value_types(self):
+        # Numeric strings coerce (lenient, like the CLI)...
+        options = RunOptions.from_mapping({"cycles": "800", "epsilon": "0.2"})
+        assert options.cycles == 800
+        assert options.epsilon == 0.2
+        # ...but junk is a 400 at admission, not a TypeError mid-execution.
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "run", "target": "figure1a",
+                             "options": {"cycles": "lots"}})
+
+    def test_from_mapping_rejects_remote_execution_knobs(self):
+        # A remote caller must never direct server-side filesystem writes
+        # or worker fan-out; the serving side substitutes its own.
+        for knob in ({"store": "/etc/cron.d/x"}, {"shards": 64}):
+            with pytest.raises(Exception):
+                RunOptions.from_mapping({"cycles": 100, **knob})
+        with pytest.raises(RequestError):
+            prepare_request({"kind": "run", "target": "figure1a",
+                             "options": {"store": "/tmp/evil"}})
+
+    def test_describe_excludes_execution_knobs(self):
+        options = RunOptions(cycles=100, names=("s27",), shards=4,
+                             store="/tmp/x")
+        described = options.describe()
+        assert described["cycles"] == 100
+        assert described["names"] == ["s27"]
+        assert "shards" not in described
+        assert "store" not in described
+
+    def test_with_execution_always_overwrites(self):
+        options = RunOptions(cycles=100, shards=4, store="/tmp/theirs")
+        owned = options.with_execution(shards=1, store=None)
+        assert owned.shards == 1
+        assert owned.store is None
+        assert owned.cycles == 100
+
+
+def _run_broker(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestBroker:
+    def test_identical_inflight_requests_coalesce(self, monkeypatch):
+        """Two identical concurrent submits: one execution, both get the result."""
+        release = threading.Event()
+        calls = []
+
+        def slow_execute(group, store=None, shards=1, emit=None):
+            calls.append(group.lanes)
+            release.wait(timeout=30)
+            return [{"value": 42} for _ in group.requests]
+
+        monkeypatch.setattr(
+            "repro.service.broker.execute_group", slow_execute
+        )
+
+        async def scenario():
+            broker = Broker()
+            await broker.start()
+            first = await broker.submit(RUN_BODY)
+            second = await broker.submit(dict(RUN_BODY))
+            assert second.cached == "coalesced"
+            assert second.primary is first
+            release.set()
+            await broker.join()
+            # Completion may land a beat after join(); poll briefly.
+            for _ in range(100):
+                if first.status == "done" and second.status == "done":
+                    break
+                await asyncio.sleep(0.01)
+            assert first.result == {"value": 42}
+            assert second.result == {"value": 42}
+            stats = broker.stats()
+            await broker.close(drain=False)
+            return stats
+
+        stats = _run_broker(scenario())
+        assert calls == [1]  # exactly one execution
+        assert stats["requests"]["coalesced"] == 1
+        assert stats["requests"]["completed"] == 2
+
+    def test_repeat_after_completion_hits_memory_cache(self, monkeypatch):
+        calls = []
+
+        def execute(group, store=None, shards=1, emit=None):
+            calls.append(group.lanes)
+            return [{"value": 7} for _ in group.requests]
+
+        monkeypatch.setattr("repro.service.broker.execute_group", execute)
+
+        async def scenario():
+            broker = Broker()
+            await broker.start()
+            first = await broker.submit(RUN_BODY)
+            await broker.join()
+            repeat = await broker.submit(dict(RUN_BODY))
+            stats = broker.stats()
+            await broker.close(drain=False)
+            assert first.result == repeat.result == {"value": 7}
+            assert repeat.cached == "memory"
+            assert repeat.status == "done"
+            return stats
+
+        stats = _run_broker(scenario())
+        assert calls == [1]  # the repeat never executed
+        assert stats["requests"]["cache_hits_memory"] == 1
+
+    def test_store_tier_survives_memory_loss(self, tmp_path, monkeypatch):
+        calls = []
+
+        def execute(group, store=None, shards=1, emit=None):
+            from repro.service.worker import execute_group as real
+            calls.append(group.lanes)
+            return real(group, store=store, shards=shards, emit=emit)
+
+        monkeypatch.setattr("repro.service.broker.execute_group", execute)
+        store = str(tmp_path / "store")
+
+        async def first_life():
+            broker = Broker(store=store)
+            await broker.start()
+            record = await broker.submit(RUN_BODY)
+            await broker.join()
+            for _ in range(100):
+                if record.status in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.01)
+            assert record.status == "done"
+            result = record.result
+            await broker.close(drain=False)
+            return result
+
+        async def second_life():
+            broker = Broker(store=store)  # fresh L1
+            await broker.start()
+            record = await broker.submit(dict(RUN_BODY))
+            stats = broker.stats()
+            await broker.close(drain=False)
+            return record, stats
+
+        original = _run_broker(first_life())
+        record, stats = _run_broker(second_life())
+        assert calls == [1]  # the second life recomputed nothing
+        assert record.cached == "store"
+        assert record.result == original
+        assert stats["requests"]["cache_hits_store"] == 1
+
+    def test_bounded_queue_rejects_excess_load(self, monkeypatch):
+        release = threading.Event()
+
+        def blocked(group, store=None, shards=1, emit=None):
+            release.wait(timeout=30)
+            return [{"ok": True} for _ in group.requests]
+
+        monkeypatch.setattr("repro.service.broker.execute_group", blocked)
+
+        async def scenario():
+            broker = Broker(queue_limit=1)
+            await broker.start()
+            bodies = [
+                {**RUN_BODY, "options": {**RUN_BODY["options"], "cycles": c}}
+                for c in (601, 602, 603, 604)
+            ]
+            await broker.submit(bodies[0])  # picked up by the worker
+            # Give the work loop a chance to dequeue the first request.
+            for _ in range(100):
+                if broker.stats()["queue"]["busy"]:
+                    break
+                await asyncio.sleep(0.01)
+            await broker.submit(bodies[1])  # fills the queue
+            with pytest.raises(Exception) as info:
+                await broker.submit(bodies[2])
+            release.set()
+            stats = broker.stats()
+            await broker.close(drain=True)
+            return info, stats
+
+        info, stats = _run_broker(scenario())
+        from repro.service.protocol import QueueFullError
+
+        assert isinstance(info.value, QueueFullError)
+        assert stats["requests"]["rejected"] == 1
+
+    def test_concurrent_burst_cannot_bypass_the_queue_limit(self, monkeypatch):
+        """Distinct submits arriving together respect queue_limit even while
+        each is suspended on its tier-2 store probe."""
+        def slow_probe(self, prepared):
+            time.sleep(0.1)
+            return None
+
+        monkeypatch.setattr(Broker, "_tier2_lookup", slow_probe)
+
+        async def scenario():
+            broker = Broker(queue_limit=1)  # worker never started
+            bodies = [
+                {**RUN_BODY, "options": {**RUN_BODY["options"], "cycles": c}}
+                for c in (801, 802, 803)
+            ]
+            outcomes = await asyncio.gather(
+                *(broker.submit(body) for body in bodies),
+                return_exceptions=True,
+            )
+            stats = broker.stats()
+            await broker.close(drain=False)
+            return outcomes, stats
+
+        from repro.service.protocol import QueueFullError
+
+        outcomes, stats = _run_broker(scenario())
+        rejected = [o for o in outcomes if isinstance(o, QueueFullError)]
+        admitted = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert len(admitted) == 1
+        assert len(rejected) == 2
+        assert stats["queue"]["depth"] == 1
+        assert stats["requests"]["rejected"] == 2
+
+    def test_compatible_simulations_batch_into_one_group(self, monkeypatch):
+        lanes_seen = []
+        from repro.service.worker import execute_group as real
+
+        def spy(group, store=None, shards=1, emit=None):
+            lanes_seen.append((group.kind, group.lanes))
+            return real(group, store=store, shards=shards, emit=emit)
+
+        monkeypatch.setattr("repro.service.broker.execute_group", spy)
+
+        async def scenario():
+            broker = Broker()
+            # Queue all lanes before starting the work loop so one drain
+            # sees them together (deterministic batching).
+            seeds = (11, 12, 13)
+            records = [
+                await broker.submit({**SIM_BODY, "seed": seed})
+                for seed in seeds
+            ]
+            await broker.start()
+            await broker.join()
+            for _ in range(200):
+                if all(r.status in ("done", "failed") for r in records):
+                    break
+                await asyncio.sleep(0.01)
+            values = [r.result["throughput"] for r in records]
+            await broker.close(drain=False)
+            return seeds, values
+
+        clear_caches()
+        seeds, values = _run_broker(scenario())
+        assert lanes_seen == [("simulate", 3)]  # one group, three lanes
+        # Each lane is bit-identical to an independent serial simulation.
+        rrg = build_scenario("figure2", {"alpha": 0.8})
+        for seed, value in zip(seeds, values):
+            expected = simulate_throughput_vector(
+                rrg, cycles=SIM_BODY["cycles"], seed=seed
+            )
+            assert value == expected
+
+    def test_failed_requests_report_the_error(self):
+        async def scenario():
+            broker = Broker()
+            await broker.start()
+            # 's9999' passes protocol validation (the iscas scenario accepts
+            # any name string) but fails at build time inside the pipeline.
+            record = await broker.submit({
+                "kind": "run", "target": "table1",
+                "options": {"names": ["s9999"], "cycles": 200},
+            })
+            await broker.join()
+            for _ in range(200):
+                if record.status in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.01)
+            status = record.status
+            error = record.error
+            await broker.close(drain=False)
+            return status, error
+
+        status, error = _run_broker(scenario())
+        assert status == "failed"
+        assert "s9999" in error
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("service-store"))
+    with ServerThread(store=store, queue_limit=8) as server:
+        client = ServiceClient(port=server.port, timeout=120)
+        client.wait_until_healthy()
+        yield server, client
+
+
+class TestHttpEndToEnd:
+    def test_submit_result_is_bit_identical_to_direct_run(self, live_server):
+        _, client = live_server
+        document = client.submit_and_wait(RUN_BODY, timeout=120)
+        direct = run_preset(
+            "figure1a", RunOptions.from_mapping(RUN_BODY["options"])
+        )
+        assert document["status"] == "done"
+        assert document["result"] == direct
+
+    def test_repeat_request_is_served_from_cache(self, live_server):
+        _, client = live_server
+        before = client.stats()["requests"]
+        start = time.perf_counter()
+        document = client.submit_and_wait(RUN_BODY, timeout=30)
+        elapsed = time.perf_counter() - start
+        after = client.stats()["requests"]
+        assert document["cached"] in ("memory", "store")
+        hits = (
+            after["cache_hits_memory"] + after["cache_hits_store"]
+            - before["cache_hits_memory"] - before["cache_hits_store"]
+        )
+        assert hits == 1
+        assert elapsed < 5.0  # a cache hit never pays the MILP
+
+    def test_events_stream_to_the_waiting_client(self, live_server):
+        _, client = live_server
+        body = {
+            "kind": "run", "target": "figure1a",
+            "options": {"params": {"alpha": 0.7}, "cycles": 500,
+                        "epsilon": 0.2},
+        }
+        events = []
+        client.submit_and_wait(body, timeout=120, on_event=events.append)
+        kinds = [event["kind"] for event in events]
+        assert "pipeline-start" in kinds
+        assert "job-done" in kinds
+        assert kinds.count("pipeline-done") == 1
+        # Events round-trip through the JSON renderer.
+        for event in events:
+            line = render_event_json(PipelineEvent(**event))
+            assert json.loads(line)["kind"] == event["kind"]
+
+    def test_simulate_roundtrip_and_cache(self, live_server):
+        _, client = live_server
+        body = {**SIM_BODY, "seed": 99}
+        first = client.submit_and_wait(body, timeout=60)
+        second = client.submit_and_wait(dict(body), timeout=60)
+        assert first["result"]["throughput"] == second["result"]["throughput"]
+        assert second["cached"] in ("memory", "store")
+        rrg = build_scenario("figure2", {"alpha": 0.8})
+        assert first["result"]["throughput"] == simulate_throughput_vector(
+            rrg, cycles=SIM_BODY["cycles"], seed=99
+        )
+
+    def test_http_error_paths(self, live_server):
+        _, client = live_server
+        with pytest.raises(ServiceError) as info:
+            client.submit({"kind": "run", "target": "missing-target"})
+        assert info.value.status == 400
+        with pytest.raises(ServiceError) as info:
+            client.status("req-unknown")
+        assert info.value.status == 404
+        with pytest.raises(ServiceError) as info:
+            client.result("req-unknown")
+        assert info.value.status == 404
+
+    def test_failed_request_surfaces_through_wait(self, live_server):
+        _, client = live_server
+        record = client.submit({
+            "kind": "run", "target": "table1",
+            "options": {"names": ["s9999"], "cycles": 200},
+        })
+        with pytest.raises(RequestFailed):
+            client.wait(record["id"], timeout=60)
+
+    def test_async_client_matches_sync(self, live_server):
+        from repro.service import AsyncServiceClient
+
+        server, sync_client = live_server
+        body = {**SIM_BODY, "seed": 123}
+
+        async def drive():
+            client = AsyncServiceClient(port=server.port, timeout=120)
+            events = []
+            document = await client.submit_and_wait(
+                body, timeout=120, on_event=events.append
+            )
+            stats = await client.stats()
+            # Error surfaces behave like the sync client's.
+            with pytest.raises(ServiceError) as info:
+                await client.submit({"kind": "run", "target": "nope"})
+            assert info.value.status == 400
+            return document, stats
+
+        document, stats = asyncio.run(drive())
+        expected = sync_client.submit_and_wait(dict(body), timeout=120)
+        assert document["result"] == expected["result"]
+        assert stats["requests"]["submitted"] >= 2
+
+    def test_stats_shape(self, live_server):
+        _, client = live_server
+        stats = client.stats()
+        assert set(stats["cache"]) == {"l1", "store", "sim"}
+        assert stats["queue"]["limit"] == 8
+        assert stats["requests"]["submitted"] >= 1
+        assert stats["cache"]["l1"]["maxsize"] == 256
+
+
+class TestServiceBusySurface:
+    def test_429_maps_to_service_busy(self, monkeypatch):
+        release = threading.Event()
+
+        def blocked(group, store=None, shards=1, emit=None):
+            release.wait(timeout=30)
+            return [{"ok": True} for _ in group.requests]
+
+        monkeypatch.setattr("repro.service.broker.execute_group", blocked)
+        try:
+            with ServerThread(queue_limit=1) as server:
+                client = ServiceClient(port=server.port, timeout=30)
+                client.wait_until_healthy()
+                bodies = [
+                    {**RUN_BODY,
+                     "options": {**RUN_BODY["options"], "cycles": c}}
+                    for c in (701, 702, 703, 704)
+                ]
+                client.submit(bodies[0])
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if client.stats()["queue"]["busy"]:
+                        break
+                    time.sleep(0.02)
+                client.submit(bodies[1])
+                with pytest.raises(ServiceBusy):
+                    for body in bodies[2:]:
+                        client.submit(body)
+        finally:
+            release.set()

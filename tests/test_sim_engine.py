@@ -216,3 +216,33 @@ class TestMarkovDeterminism:
         second = exact_throughput(rrg)
         assert first.throughput == second.throughput
         assert first.num_states == second.num_states
+
+
+class TestLruCacheExport:
+    def test_stats_counters_are_exported(self):
+        from repro.sim.cache import LruCache
+
+        cache = LruCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 2, "size": 2, "maxsize": 2}
+
+    def test_simulate_vectors_matches_configurations(self):
+        from repro.core.configuration import RRConfiguration
+        from repro.sim.batch import simulate_configurations, simulate_vectors
+        from repro.workloads.examples import figure2_rrg
+
+        rrg = figure2_rrg(0.7)
+        config = RRConfiguration.identity(rrg)
+        expected = simulate_configurations(
+            [config, config], cycles=400, seeds=[5, 6], use_cache=False
+        )
+        vectors = [(config.token_vector(), config.buffer_vector())] * 2
+        assert simulate_vectors(
+            rrg, vectors, cycles=400, seeds=[5, 6], use_cache=False
+        ) == expected
