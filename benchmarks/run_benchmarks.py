@@ -36,10 +36,11 @@ from repro.core.optimizer import min_effective_cycle_time
 from repro.elastic.simulator import simulate_elastic_throughput
 from repro.experiments.table2 import run_table2
 from repro.gmg.simulation import simulate_throughput
+from repro.search import search_minimize
 from repro.sim.batch import simulate_configurations, simulate_replicas
 from repro.sim.cache import clear_caches
 from repro.workloads.examples import figure1a_rrg, figure2_rrg, unbalanced_fork_join
-from repro.workloads.random_rrg import random_rrg
+from repro.workloads.random_rrg import large_random_rrg, random_rrg
 
 # Wall-clock seconds measured at the seed commit on the reference container.
 # MILP entries: dense two-phase tableau, cold-started branch and bound, pure
@@ -245,6 +246,53 @@ def _service_load_run(port, clients=4, per_client=8, seed_base=0,
     }
 
 
+def _search_large(optimizer, budget=6.0):
+    """Heuristic search on a 400-node RRG (beyond branch-and-bound reach).
+
+    Reported: incumbent quality (xi, and the improvement over the identity
+    configuration) for the given time budget.  Cold caches per run so every
+    repeat races from scratch.
+    """
+    from repro.pipeline.stages import SEARCH_STRATEGIES
+
+    strategies = SEARCH_STRATEGIES[optimizer]
+    clear_caches()
+    rrg = large_random_rrg(400, seed=11)
+    result = search_minimize(
+        rrg, strategies=strategies, time_budget=budget, seed=1,
+        include_milp=False,
+    )
+    start_xi = result.points[0].effective_cycle_time
+    return {
+        "xi": round(result.best.effective_cycle_time, 3),
+        "improvement_pct": round(
+            (1 - result.best.effective_cycle_time / start_xi) * 100, 2
+        ),
+        "evaluations": result.evaluations,
+        "strategy": result.best.strategy,
+        "time_budget": budget,
+    }
+
+
+def _search_vs_milp():
+    """Portfolio vs the exact MILP on a paper-sized instance (s382-like)."""
+    from repro.workloads.iscas_like import SPEC_BY_NAME, iscas_like_rrg, scaled_spec
+
+    clear_caches()
+    rrg = iscas_like_rrg(scaled_spec(SPEC_BY_NAME["s382"], 0.25), seed=2018)
+    result = search_minimize(
+        rrg, time_budget=8.0, seed=1,
+        settings=MilpSettings(time_limit=30), include_milp=True,
+    )
+    return {
+        "xi_portfolio": round(result.best.effective_cycle_time, 3),
+        "xi_milp_bound": round(
+            (result.milp or {}).get("best_xi_bound", float("nan")), 3
+        ),
+        "provenance": result.best.strategy,
+    }
+
+
 def _workloads():
     fig1a = figure1a_rrg(0.9)
     fork_join = unbalanced_fork_join(alpha=0.8, long_branch_delay=6.0)
@@ -277,6 +325,15 @@ def _workloads():
         yield "pipeline_sweep_cached", lambda: _pipeline_sharded(4, store=store_dir)
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
+
+    # Search workloads: the heuristic optimizer on a graph ~4x beyond what
+    # the MILP can touch, one entry per strategy line-up, plus the
+    # portfolio-vs-MILP quality check on a paper-sized instance.  The xi
+    # fields are the quality record (incumbent vs time budget).
+    yield "search_large_descent", lambda: _search_large("descent")
+    yield "search_large_anneal", lambda: _search_large("anneal")
+    yield "search_large_portfolio", lambda: _search_large("portfolio")
+    yield "search_small_portfolio_vs_milp", _search_vs_milp
 
     # Service workloads: the full HTTP round trip (admission, coalescing,
     # batching, tiered cache) under N concurrent clients.  Cold shifts the

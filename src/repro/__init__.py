@@ -17,6 +17,10 @@ The package is organised as:
 * :mod:`repro.retiming` — classical Leiserson-Saxe retiming baselines;
 * :mod:`repro.elastic` — the structural elastic-circuit substrate (SELF
   controllers, cycle-accurate simulation, Verilog emission);
+* :mod:`repro.search` — the heuristic optimization subsystem for large
+  RRGs: local-search state/moves, greedy descent and simulated annealing,
+  and the anytime portfolio racer (with the exact MILP as a member on
+  small instances);
 * :mod:`repro.workloads` — example graphs, the random benchmark generator
   and the scenario registry;
 * :mod:`repro.pipeline` — the declarative experiment pipeline: Build /
@@ -57,6 +61,7 @@ from repro.gmg.markov import exact_throughput
 from repro.gmg.simulation import simulate_throughput
 from repro.retiming.min_delay import min_delay_retiming
 from repro.retiming.late_evaluation import late_evaluation_baseline
+from repro.search import SearchResult, search_minimize
 
 __version__ = "1.0.0"
 
@@ -84,5 +89,7 @@ __all__ = [
     "simulate_throughput",
     "min_delay_retiming",
     "late_evaluation_baseline",
+    "SearchResult",
+    "search_minimize",
     "__version__",
 ]

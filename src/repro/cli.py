@@ -19,6 +19,7 @@ Examples::
     python -m repro run table2-small --shards 2 --store .repro-store
     python -m repro run table2 --names s27 s382 --scale 0.25 --shards 4
     python -m repro run figure1a --param alpha=0.9
+    python -m repro run large-scale --size small --optimizer portfolio --time-budget 20
     python -m repro run table1 --output table1.json
     python -m repro report table1.json
     python -m repro serve --store .repro-store
@@ -86,6 +87,9 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
         names=tuple(args.names) if args.names else None,
         alphas=tuple(args.alphas) if args.alphas else None,
         time_limit=args.time_limit,
+        optimizer=getattr(args, "optimizer", None),
+        time_budget=getattr(args, "time_budget", None),
+        size=getattr(args, "size", None),
         params=_scenario_params(args.param or []),
     )
 
@@ -249,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
                              help="alpha values (motivational)")
         command.add_argument("--time-limit", type=float, default=60.0,
                              help="MILP time limit in seconds (default 60)")
+        command.add_argument("--optimizer", default=None,
+                             choices=("milp", "descent", "anneal", "portfolio"),
+                             help="Optimize stage engine: the exact MILP "
+                                  "(default) or the heuristic search")
+        command.add_argument("--time-budget", type=float, default=None,
+                             help="search budget in seconds (heuristic "
+                                  "optimizers; default 30)")
+        command.add_argument("--size", default=None,
+                             choices=("tiny", "small", "medium", "large"),
+                             help="large-scale preset instance size "
+                                  "(default small)")
         command.add_argument("--param", action="append", default=None,
                              metavar="KEY=VALUE",
                              help="scenario parameter override (repeatable)")

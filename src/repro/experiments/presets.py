@@ -19,6 +19,7 @@ what makes service-side caching sound.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -40,8 +41,14 @@ from repro.experiments.table2 import (
     table2_as_rows,
 )
 from repro.pipeline.events import EventCallback
-from repro.pipeline.runner import run_jobs
-from repro.pipeline.stages import BuildSpec, Job, OptimizeParams, SimulateParams
+from repro.pipeline.runner import derive_seed, run_jobs
+from repro.pipeline.stages import (
+    OPTIMIZERS,
+    BuildSpec,
+    Job,
+    OptimizeParams,
+    SimulateParams,
+)
 from repro.workloads.examples import figure1a_rrg
 from repro.workloads.registry import ScenarioError, has_scenario, scenario
 
@@ -52,7 +59,23 @@ EXPERIMENT_TARGETS = (
     "table2",
     "table2-small",
     "ablations",
+    "large-scale",
 )
+
+#: `large-scale` instance sizes (nodes of the large-rrg scenario).  ``tiny``
+#: exists for tests and local smoke runs; the paper-relevant range is
+#: small-large.
+LARGE_SCALE_SIZES = {
+    "tiny": 120,
+    "small": 500,
+    "medium": 1500,
+    "large": 5000,
+}
+
+LARGE_SCALE_HEADERS = [
+    "name", "|N|", "|E|", "optimizer", "tau", "Theta", "xi",
+    "strategy", "evaluations",
+]
 
 TABLE1_HEADERS = ["name", "tau", "Theta_lp", "Theta", "err%", "xi_lp", "xi"]
 TABLE2_HEADERS = [
@@ -83,13 +106,16 @@ class RunOptions:
     names: Optional[Tuple[str, ...]] = None
     alphas: Optional[Tuple[float, ...]] = None
     time_limit: Optional[float] = 60.0
+    optimizer: Optional[str] = None
+    time_budget: Optional[float] = None
+    size: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     #: Options that change *what* is computed (not how it is executed);
     #: only these enter request/cache keys.
     COMPUTE_FIELDS = (
         "seed", "cycles", "epsilon", "scale", "names", "alphas",
-        "time_limit", "params",
+        "time_limit", "optimizer", "time_budget", "size", "params",
     )
 
     def settings(self) -> MilpSettings:
@@ -124,9 +150,12 @@ class RunOptions:
             for name in ("seed", "cycles"):
                 if values.get(name) is not None:
                     values[name] = int(values[name])
-            for name in ("epsilon", "scale", "time_limit"):
+            for name in ("epsilon", "scale", "time_limit", "time_budget"):
                 if values.get(name) is not None:
                     values[name] = float(values[name])
+            for name in ("optimizer", "size"):
+                if values.get(name) is not None:
+                    values[name] = str(values[name])
             if values.get("names") is not None:
                 values["names"] = tuple(str(n) for n in values["names"])
             if values.get("alphas") is not None:
@@ -136,6 +165,20 @@ class RunOptions:
         except (TypeError, ValueError) as exc:
             # Admission-time 400, not a server-side 500 mid-execution.
             raise ScenarioError(f"invalid run option value: {exc}") from exc
+        if values.get("optimizer") is not None and (
+            values["optimizer"] not in OPTIMIZERS
+        ):
+            raise ScenarioError(
+                f"unknown optimizer {values['optimizer']!r}; "
+                f"expected one of {OPTIMIZERS}"
+            )
+        if values.get("size") is not None and (
+            values["size"] not in LARGE_SCALE_SIZES
+        ):
+            raise ScenarioError(
+                f"unknown size {values['size']!r}; "
+                f"expected one of {tuple(LARGE_SCALE_SIZES)}"
+            )
         return cls(**values)
 
     def describe(self) -> Dict[str, Any]:
@@ -290,6 +333,31 @@ def _run_ablations(options: RunOptions, events) -> Dict[str, Any]:
     return _result("ablations", ["observation", "value"], rows, {})
 
 
+def optimize_params_for(
+    options: RunOptions, job_id: str, k: int = 5
+) -> OptimizeParams:
+    """The Optimize-stage parameters a run's options declare.
+
+    The search seed derives from the root seed and the job id through the
+    pipeline's hash-derivation scheme, so a portfolio inside a sharded sweep
+    is seeded identically to the serial run — and differently from any other
+    job of the same sweep.
+    """
+    base = OptimizeParams.from_settings(
+        options.settings(), k=k, epsilon=options.epsilon or 0.05
+    )
+    optimizer = options.optimizer or "milp"
+    if optimizer == "milp":
+        return base
+    root_seed = options.seed if options.seed is not None else 0
+    return replace(
+        base,
+        optimizer=optimizer,
+        time_budget=options.time_budget or 30.0,
+        search_seed=derive_seed(root_seed, "search", job_id),
+    )
+
+
 def scenario_job(target: str, options: RunOptions) -> Job:
     """The single pipeline job a plain-scenario run declares.
 
@@ -306,13 +374,82 @@ def scenario_job(target: str, options: RunOptions) -> Job:
     return Job(
         job_id=target,
         build=BuildSpec(scenario=target, params=params),
-        optimize=OptimizeParams.from_settings(
-            options.settings(), k=5, epsilon=options.epsilon or 0.05
-        ),
+        optimize=optimize_params_for(options, target),
         simulate=SimulateParams(
             cycles=options.cycles or 4000,
             seed=options.seed if options.seed is not None else 7,
         ),
+    )
+
+
+def large_scale_job(options: RunOptions) -> Job:
+    """The single search job the ``large-scale`` preset declares.
+
+    Graph generation and the search both derive from the root seed (default
+    2009), through the same hash-splitting the rest of the pipeline uses, so
+    a fixed ``--seed`` pins the whole run — CLI and service paths alike.
+    """
+    size = options.size or "small"
+    if size not in LARGE_SCALE_SIZES:
+        raise ScenarioError(
+            f"unknown size {size!r}; expected one of {tuple(LARGE_SCALE_SIZES)}"
+        )
+    root_seed = options.seed if options.seed is not None else 2009
+    job_id = f"large-{size}"
+    effective = replace(
+        options,
+        seed=root_seed,
+        optimizer=options.optimizer or "portfolio",
+        time_budget=options.time_budget or 30.0,
+    )
+    return Job(
+        job_id=job_id,
+        build=BuildSpec.from_scenario(
+            "large-rrg",
+            num_nodes=LARGE_SCALE_SIZES[size],
+            seed=derive_seed(root_seed, "large-rrg", size),
+        ),
+        # No Simulate stage: the search already measures every incumbent
+        # through the compiled engine at its own (deterministic) fidelity.
+        optimize=optimize_params_for(effective, job_id),
+        simulate=None,
+    )
+
+
+def _run_large_scale(options: RunOptions, events) -> Dict[str, Any]:
+    job = large_scale_job(options)
+    payload = run_jobs(
+        [job], shards=options.shards, store=options.store, events=events
+    )[0]
+    graph = payload["graph"]
+    best = payload["optimize"]["best"]
+    search = payload["optimize"]["search"]
+    xi = (
+        best["cycle_time"] / best["throughput"]
+        if best.get("throughput") else math.inf
+    )
+    rows = [(
+        graph["name"],
+        graph["num_nodes"],
+        graph["num_edges"],
+        payload["optimize"]["optimizer"],
+        round(best["cycle_time"], 2),
+        round(best["throughput"], 4),
+        round(xi, 3),
+        search["strategy"],
+        search["evaluations"],
+    )]
+    return _result(
+        "large-scale",
+        LARGE_SCALE_HEADERS,
+        rows,
+        {
+            "size": options.size or "small",
+            "time_budget": search["time_budget"],
+            "completed": search["completed"],
+            "incumbent_xi": round(xi, 6),
+            "initial_cycle_time": round(graph["initial_cycle_time"], 3),
+        },
     )
 
 
@@ -347,6 +484,25 @@ def run_preset(
         UnknownTargetError: For a target that is neither preset nor scenario.
     """
     options = options or RunOptions()
+    # Reject option/target combinations that would silently do nothing: the
+    # paper presets always run the exact MILP (their tables are defined by
+    # it), and --size only parameterizes the large-scale preset.  Catching
+    # this here keeps the CLI honest and stops the service from keying
+    # identical computations under different digests.
+    if target in ("motivational", "table1", "table2", "table2-small",
+                  "ablations"):
+        if options.optimizer not in (None, "milp") or (
+            options.time_budget is not None
+        ):
+            raise ScenarioError(
+                f"preset {target!r} always runs the exact MILP; "
+                "--optimizer/--time-budget apply to scenario runs and the "
+                "large-scale preset"
+            )
+    if options.size is not None and target != "large-scale":
+        raise ScenarioError(
+            "--size parameterizes the large-scale preset only"
+        )
     if target == "motivational":
         return _run_motivational(options, events)
     if target == "table1":
@@ -355,6 +511,8 @@ def run_preset(
         return _run_table2(options, events, small=target.endswith("small"))
     if target == "ablations":
         return _run_ablations(options, events)
+    if target == "large-scale":
+        return _run_large_scale(options, events)
     if has_scenario(target):
         return _run_scenario(target, options, events)
     known = ", ".join(EXPERIMENT_TARGETS)
@@ -371,11 +529,15 @@ def is_run_target(target: str) -> bool:
 
 __all__ = [
     "EXPERIMENT_TARGETS",
+    "LARGE_SCALE_HEADERS",
+    "LARGE_SCALE_SIZES",
     "TABLE1_HEADERS",
     "TABLE2_HEADERS",
     "RunOptions",
     "UnknownTargetError",
     "is_run_target",
+    "large_scale_job",
+    "optimize_params_for",
     "run_preset",
     "scenario_job",
 ]

@@ -21,7 +21,6 @@ The parallel path degrades gracefully: if the platform cannot spawn workers
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import os
 import signal
 import sys
@@ -38,7 +37,15 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.pipeline import events as ev
 from repro.pipeline.stages import Job, execute_job, job_store_key
 from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
+from repro.seeding import derive_seed
 from repro.sim import cache as _sim_cache
+
+__all__ = [
+    "PipelineAborted",
+    "derive_seed",
+    "graceful_interrupts",
+    "run_jobs",
+]
 
 StoreLike = Union[ArtifactStore, str, os.PathLike, None]
 
@@ -106,19 +113,6 @@ def graceful_interrupts(stream=None) -> Iterator[Callable[[], bool]]:
 
 def _default_should_stop() -> bool:
     return _INTERRUPT.is_set()
-
-
-def derive_seed(root_seed: int, *labels: Any) -> int:
-    """A deterministic child seed from a root seed and stable labels.
-
-    Hash-based splitting (rather than ``random.Random(root).randrange`` per
-    consumer) makes the child independent of how many siblings were derived
-    before it, so adding a job to a sweep never reshuffles the others and
-    shard assignment cannot matter.
-    """
-    text = repr((int(root_seed),) + labels)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") % (2**31 - 1)
 
 
 def _resolve_store(store: StoreLike) -> Optional[ArtifactStore]:

@@ -82,9 +82,31 @@ class BuildSpec:
         return {"inline": True}
 
 
+#: Optimizers the Optimize stage can dispatch to.  ``milp`` is the exact
+#: MIN_EFF_CYC walk; the rest route through :mod:`repro.search` (``portfolio``
+#: races descent + annealing and, on small graphs, the MILP itself).
+OPTIMIZERS = ("milp", "descent", "anneal", "portfolio")
+
+#: Strategy line-up per search optimizer.
+SEARCH_STRATEGIES = {
+    "descent": ("descent",),
+    "anneal": ("anneal",),
+    "portfolio": ("descent", "anneal"),
+}
+
+
 @dataclass(frozen=True)
 class OptimizeParams:
-    """Parameters of the Optimize stage (MIN_EFF_CYC + optional baseline)."""
+    """Parameters of the Optimize stage.
+
+    ``optimizer`` selects between the exact MILP walk (``"milp"``, the
+    default — MIN_EFF_CYC with optional late-evaluation baseline) and the
+    heuristic search subsystem (``"descent"``/``"anneal"``/``"portfolio"``,
+    for graphs beyond branch-and-bound reach).  The search knobs
+    (``time_budget``, ``search_seed``, ``search_cycles``) are ignored by the
+    MILP path; MILP settings are shared by both (the portfolio's MILP member
+    uses them on small instances).
+    """
 
     k: int = 3
     epsilon: float = 0.05
@@ -95,6 +117,10 @@ class OptimizeParams:
     max_buffers_per_edge: Optional[int] = None
     buffer_penalty: float = 1e-6
     warm_start: bool = True
+    optimizer: str = "milp"
+    time_budget: Optional[float] = None
+    search_seed: int = 0
+    search_cycles: int = 256
 
     @classmethod
     def from_settings(
@@ -213,6 +239,14 @@ class OptimizeStage:
     def run(self, ctx: JobContext) -> None:
         assert ctx.rrg is not None, "Optimize requires a built RRG"
         params = self.params
+        if params.optimizer not in OPTIMIZERS:
+            raise ValueError(
+                f"unknown optimizer {params.optimizer!r}; "
+                f"expected one of {OPTIMIZERS}"
+            )
+        if params.optimizer != "milp":
+            self._run_search(ctx)
+            return
         settings = params.settings()
         if params.baseline:
             baseline = late_evaluation_baseline(
@@ -249,6 +283,109 @@ class OptimizeStage:
             "milp_solves": result.milp_solves,
             "total_lp_iterations": result.total_lp_iterations,
             "total_nodes": result.total_nodes,
+        }
+
+    def _run_search(self, ctx: JobContext) -> None:
+        """The heuristic path: race strategies, emit the MILP payload shape.
+
+        The payload mirrors the exact path (``points``/``best``/indices) so
+        the Simulate stage and every reducer work unchanged, and adds a
+        ``search`` block with the anytime profile and provenance.  Pareto
+        points carry the *measured* throughput in the ``throughput_bound``
+        slot when no LP bound was computed (graphs beyond the LP filter
+        size); ``search.bound_kind`` says which one it is.
+        """
+        from repro.search import search_minimize
+        from repro.search.problem import LP_FILTER_MAX_NODES
+
+        params = self.params
+        result = search_minimize(
+            ctx.rrg,
+            strategies=SEARCH_STRATEGIES[params.optimizer],
+            time_budget=params.time_budget or 30.0,
+            seed=params.search_seed,
+            cycles=params.search_cycles,
+            epsilon=params.epsilon,
+            settings=params.settings(),
+            # Only the portfolio admits the exact MILP, and only below the
+            # search's own node limit (None = auto gate).
+            include_milp=None if params.optimizer == "portfolio" else False,
+        )
+        use_lp_bound = ctx.rrg.num_nodes <= LP_FILTER_MAX_NODES
+
+        def to_point(entry) -> ParetoPoint:
+            if use_lp_bound:
+                bound = configuration_throughput_bound(entry.configuration)
+            else:
+                bound = entry.throughput
+            point = ParetoPoint(
+                configuration=entry.configuration,
+                cycle_time=entry.cycle_time,
+                throughput_bound=bound,
+            )
+            point.throughput = entry.throughput
+            return point
+
+        points = [to_point(entry) for entry in result.points]
+        best = points[-1]  # search_minimize puts the final incumbent last
+        ctx.optimization = OptimizationResult(
+            best=best,
+            points=points,
+            k_best=sorted(
+                points, key=lambda p: p.effective_cycle_time
+            )[: max(params.k, 1)],
+            iterations=result.evaluations,
+            milp_solves=(result.milp or {}).get("milp_solves", 0),
+        )
+        ctx.payload["optimize"] = {
+            "points": [_point_payload(point) for point in points],
+            "best": _point_payload(best),
+            "best_index": len(points) - 1,
+            "k_best_indices": [
+                i
+                for point in ctx.optimization.k_best
+                for i, candidate in enumerate(points)
+                if candidate is point
+            ],
+            "iterations": result.evaluations,
+            "milp_solves": (result.milp or {}).get("milp_solves", 0),
+            "total_lp_iterations": 0,
+            "total_nodes": 0,
+            "optimizer": params.optimizer,
+            "search": {
+                "strategy": result.best.strategy,
+                "effective_cycle_time": result.best.effective_cycle_time,
+                "evaluations": result.evaluations,
+                "evaluation_budget": result.evaluation_budget,
+                "pruned_tau": result.pruned_tau,
+                "pruned_lp": result.pruned_lp,
+                "bound_kind": "lp" if use_lp_bound else "measured",
+                "time_budget": result.time_budget,
+                "completed": result.completed,
+                "seed": result.seed,
+                # Wall-clock fields stay out: a stored payload must be a
+                # pure function of the job declaration (the sim-cache-warmth
+                # dependent `simulations` counter stays out for the same
+                # reason — SearchResult still carries both for live callers).
+                "milp": None if result.milp is None else {
+                    key: value for key, value in result.milp.items()
+                    if key != "seconds"
+                },
+                "history": [
+                    [index, name, xi] for index, name, xi in result.history
+                ],
+                "strategies": [
+                    {
+                        "name": report.name,
+                        "seed": report.seed,
+                        "steps": report.steps,
+                        "improvements": report.improvements,
+                        "best_xi": report.best_xi,
+                        "exhausted": report.exhausted,
+                    }
+                    for report in result.strategies
+                ],
+            },
         }
 
 

@@ -1,0 +1,51 @@
+"""Heuristic optimization subsystem for MIN_EFF_CYC on large RRGs.
+
+The exact MILP walk (:func:`repro.core.optimizer.min_effective_cycle_time`)
+is the quality oracle on paper-sized instances, but branch and bound caps it
+at a few hundred nodes.  This package trades bounded optimality for scale:
+
+* :mod:`repro.search.state` — a mutable retiming+recycling configuration
+  with O(degree) move application (register shifts, bubble insertion and
+  removal) and exact revert;
+* :mod:`repro.search.problem` — incremental objective re-evaluation: cycle
+  time by an array-based longest-path sweep over the zero-buffer subgraph,
+  throughput through the compiled :mod:`repro.sim` engine (template compiled
+  once, throughput cache shared with the pipeline), and two admissible
+  filters — ``tau`` itself and, on small graphs, the
+  :mod:`repro.gmg.lp_bound` LP bound — that prune candidates without
+  simulating them;
+* :mod:`repro.search.strategies` — step-based local-search strategies
+  (greedy descent with restarts, simulated annealing) racing under the
+  portfolio;
+* :mod:`repro.search.portfolio` — the anytime portfolio racer: strategies
+  (and, on small instances, the exact MILP) share one deadline and one
+  hash-derived seed discipline; the incumbent is returned with provenance.
+
+Entry point: :func:`repro.search.search_minimize`.
+"""
+
+from repro.search.portfolio import (
+    Incumbent,
+    PortfolioRacer,
+    SearchResult,
+    StrategyReport,
+    search_minimize,
+)
+from repro.search.problem import Evaluation, SearchProblem
+from repro.search.state import Move, SearchState
+from repro.search.strategies import GreedyDescent, SimulatedAnnealing, Strategy
+
+__all__ = [
+    "Evaluation",
+    "GreedyDescent",
+    "Incumbent",
+    "Move",
+    "PortfolioRacer",
+    "SearchProblem",
+    "SearchResult",
+    "SearchState",
+    "SimulatedAnnealing",
+    "Strategy",
+    "StrategyReport",
+    "search_minimize",
+]

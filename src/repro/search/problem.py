@@ -1,0 +1,312 @@
+"""Objective evaluation and move generation for the search subsystem.
+
+The objective is the measured effective cycle time ``xi = tau / Theta``:
+
+* ``tau`` — cycle time, recomputed incrementally per candidate as an
+  array-based longest-path sweep over the zero-buffer subgraph (O(V + E)
+  with no graph copies; the same sweep also yields the critical edges that
+  focus move generation);
+* ``Theta`` — throughput, measured by the compiled :mod:`repro.sim` engine:
+  the template is compiled once per RRG (shared with the pipeline's
+  template cache), each candidate only instantiates new marking/latency
+  vectors, and results flow through the shared throughput cache so
+  revisited configurations are dictionary lookups.
+
+Two admissible filters prune candidates before the (dominant) simulation
+cost:
+
+* ``tau`` itself: ``Theta <= 1`` always, so ``xi >= tau`` — a candidate
+  whose cycle time already exceeds the incumbent's ``xi`` cannot win;
+* the LP throughput bound (:mod:`repro.gmg.lp_bound`): ``Theta <= Theta_lp``
+  gives ``xi >= tau / Theta_lp``.  The LP is itself a solve, so this filter
+  is only armed on graphs below ``lp_filter_max_nodes``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rrg import RRG
+from repro.gmg.build import build_template
+from repro.lp import Model, SolveStatus
+from repro.search.state import BUBBLE, RETIME, Move, SearchState
+from repro.sim import cache as _sim_cache
+from repro.sim.scalar import ScalarSimulator
+
+#: Default node count up to which the LP admissible filter is armed (above
+#: it the LP solve outweighs the simulation it would save).  Shared with the
+#: Optimize stage, which uses the same threshold to decide whether Pareto
+#: points carry an LP bound or the measured throughput.
+LP_FILTER_MAX_NODES = 160
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One candidate's measured objective."""
+
+    cycle_time: float
+    throughput: float
+
+    @property
+    def effective_cycle_time(self) -> float:
+        if self.throughput <= 0:
+            return math.inf
+        return self.cycle_time / self.throughput
+
+
+class SearchProblem:
+    """Shared evaluation context of one search run.
+
+    Args:
+        rrg: The base graph (validated by the caller).
+        cycles: Measured simulation cycles per evaluation.
+        warmup: Warm-up cycles (default ``cycles // 4``; short on purpose —
+            the search ranks candidates, it does not publish throughputs).
+        seed: Seed shared by every candidate simulation, so two evaluations
+            of the same configuration return the same number and the
+            throughput cache applies.
+        mode: Simulation mode (``"tgmg"`` or ``"elastic"``).
+        lp_filter_max_nodes: Arm the LP admissible filter only below this
+            node count (the LP solve outweighs the simulation above it).
+    """
+
+    def __init__(
+        self,
+        rrg: RRG,
+        cycles: int = 256,
+        warmup: Optional[int] = None,
+        seed: int = 0,
+        mode: str = "tgmg",
+        lp_filter_max_nodes: int = LP_FILTER_MAX_NODES,
+    ) -> None:
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        self.rrg = rrg
+        self.cycles = int(cycles)
+        self.warmup = int(warmup) if warmup is not None else max(32, cycles // 4)
+        self.seed = seed
+        self.mode = mode
+        self.fingerprint = _sim_cache.rrg_fingerprint(rrg)
+        self.template = _sim_cache.compiled_template_for(rrg, mode=mode)
+        self.delays: List[float] = [node.delay for node in rrg.nodes]
+        self.lp_filter = rrg.num_nodes <= int(lp_filter_max_nodes)
+        self._tgmg_template = build_template(rrg, refine=True) if self.lp_filter else None
+        # Accounting (exposed in SearchResult).
+        self.evaluations = 0
+        self.simulations = 0
+        self.pruned_tau = 0
+        self.pruned_lp = 0
+        self.lp_solves = 0
+
+    # -- cycle time ------------------------------------------------------------
+
+    def cycle_time(self, state: SearchState) -> float:
+        """Longest combinational path delay of the state (O(V + E))."""
+        arrival = self._arrival_times(state)
+        return max(arrival) if arrival else 0.0
+
+    def _arrival_times(self, state: SearchState) -> List[float]:
+        """Kahn sweep over the zero-buffer subgraph (feasible => acyclic)."""
+        delays = self.delays
+        buffers = state.buffers
+        edge_src, edge_dst = state.edge_src, state.edge_dst
+        num_nodes = len(delays)
+        indegree = [0] * num_nodes
+        zero_out: List[List[int]] = [[] for _ in range(num_nodes)]
+        for edge in range(len(buffers)):
+            if buffers[edge] == 0:
+                zero_out[edge_src[edge]].append(edge_dst[edge])
+                indegree[edge_dst[edge]] += 1
+        arrival = list(delays)
+        ready = [n for n in range(num_nodes) if indegree[n] == 0]
+        processed = 0
+        while ready:
+            node = ready.pop()
+            processed += 1
+            reach = arrival[node]
+            for succ in zero_out[node]:
+                if reach + delays[succ] > arrival[succ]:
+                    arrival[succ] = reach + delays[succ]
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if processed != num_nodes:
+            raise ValueError(
+                "state has a zero-buffer cycle (infeasible configuration)"
+            )
+        return arrival
+
+    def critical_edges(self, state: SearchState) -> List[int]:
+        """Zero-buffer edges on maximum-delay combinational paths.
+
+        Backward reachability from the maximum-arrival nodes along *tight*
+        edges (``arrival[dst] == arrival[src] + delay[dst]``).  These are the
+        edges where a bubble cuts the critical path — and their endpoints are
+        where register shifts can.
+        """
+        arrival = self._arrival_times(state)
+        tau = max(arrival) if arrival else 0.0
+        delays = self.delays
+        buffers = state.buffers
+        edge_src, edge_dst = state.edge_src, state.edge_dst
+        tight_in: List[List[Tuple[int, int]]] = [[] for _ in delays]
+        for edge in range(len(buffers)):
+            if buffers[edge] == 0:
+                src, dst = edge_src[edge], edge_dst[edge]
+                if abs(arrival[dst] - arrival[src] - delays[dst]) <= 1e-9:
+                    tight_in[dst].append((edge, src))
+        on_path = [abs(arrival[n] - tau) <= 1e-9 for n in range(len(delays))]
+        stack = [n for n in range(len(delays)) if on_path[n]]
+        critical: List[int] = []
+        while stack:
+            node = stack.pop()
+            for edge, src in tight_in[node]:
+                critical.append(edge)
+                if not on_path[src]:
+                    on_path[src] = True
+                    stack.append(src)
+        critical.sort()
+        return critical
+
+    # -- throughput ------------------------------------------------------------
+
+    def throughput(self, state: SearchState) -> float:
+        """Measured throughput of the state via the compiled engine."""
+        tokens = state.token_vector()
+        buffers = state.buffer_vector()
+        key = _sim_cache.throughput_key(
+            self.fingerprint, self.mode, tokens, buffers,
+            self.cycles, self.warmup, self.seed,
+        )
+        hit = _sim_cache.cached_throughput(key)
+        if hit is not None:
+            return hit
+        model = self.template.instantiate(tokens, buffers)
+        simulator = ScalarSimulator(model, seed=self.seed)
+        value = float(
+            simulator.run(cycles=self.cycles, warmup=self.warmup).throughputs[0]
+        )
+        _sim_cache.store_throughput(key, value)
+        self.simulations += 1
+        return value
+
+    # -- the objective ---------------------------------------------------------
+
+    def evaluate(self, state: SearchState) -> Evaluation:
+        """Full evaluation (cycle time + simulated throughput)."""
+        self.evaluations += 1
+        tau = self.cycle_time(state)
+        return Evaluation(cycle_time=tau, throughput=self.throughput(state))
+
+    def evaluate_bounded(
+        self, state: SearchState, threshold: float
+    ) -> Optional[Evaluation]:
+        """Evaluate unless an admissible bound proves ``xi >= threshold``.
+
+        Returns None when the candidate is pruned (it cannot beat the
+        threshold), otherwise the full evaluation.  Counts as one evaluation
+        either way — the racer budgets evaluation *attempts*, which keeps
+        run lengths deterministic whether or not the filters fire.
+        """
+        self.evaluations += 1
+        tau = self.cycle_time(state)
+        if tau >= threshold:
+            self.pruned_tau += 1
+            return None
+        if self.lp_filter and threshold < math.inf:
+            bound = self.lp_bound(state)
+            if bound > 0 and tau / bound >= threshold:
+                self.pruned_lp += 1
+                return None
+        return Evaluation(cycle_time=tau, throughput=self.throughput(state))
+
+    def lp_bound(self, state: SearchState) -> float:
+        """Theta_lp of the state (LP (11) over the shared TGMG template)."""
+        from repro.core.throughput import add_throughput_constraints
+
+        self.lp_solves += 1
+        model = Model(f"{self.rrg.name}-search-lp", sense="min")
+        x = model.add_var("x", lb=1.0)
+        add_throughput_constraints(
+            model,
+            self.rrg,
+            buffers=state.buffer_vector(),
+            x=x,
+            tokens=state.token_vector(),
+            template=self._tgmg_template,
+        )
+        model.set_objective(x)
+        solution = model.solve()
+        if solution.status is not SolveStatus.OPTIMAL:
+            return 1.0  # an unusable bound must never prune
+        return 1.0 / float(solution[x])
+
+    # -- move generation -------------------------------------------------------
+
+    def sample_moves(
+        self, state: SearchState, rng: random.Random, size: int
+    ) -> List[Move]:
+        """Up to ``size`` legal candidate moves, critical-cycle focused.
+
+        The pool mixes bubble insertions on critical zero-buffer edges
+        (cutting ``tau``), register shifts at their endpoints (moving
+        registers onto the critical path without the throughput cost of a
+        bubble) and bubble removals anywhere (recovering throughput).  The
+        pool order is deterministic; ``rng`` only subsamples it.
+        """
+        critical = self.critical_edges(state)
+        retimes: List[Move] = []
+        bubbles: List[Move] = []
+        seen = set()
+
+        def add(pool: List[Move], move: Move) -> None:
+            key = (move.kind, move.target, move.delta)
+            if key not in seen and state.can_apply(move):
+                seen.add(key)
+                pool.append(move)
+
+        nodes_seen: List[int] = []
+        node_mark = set()
+        for edge in critical:
+            add(bubbles, Move(BUBBLE, edge, +1))
+            for node in (state.edge_src[edge], state.edge_dst[edge]):
+                if node not in node_mark:
+                    node_mark.add(node)
+                    nodes_seen.append(node)
+        for node in nodes_seen:
+            add(retimes, Move(RETIME, node, +1))
+            add(retimes, Move(RETIME, node, -1))
+        bubbled = [
+            edge for edge in range(len(state.buffers)) if state.bubbles(edge) > 0
+        ]
+        if bubbled:
+            for edge in (
+                bubbled if len(bubbled) <= size
+                else rng.sample(bubbled, size)
+            ):
+                add(bubbles, Move(BUBBLE, edge, -1))
+        # Balance the sample across move kinds: register shifts preserve
+        # throughput (the cheap wins) while bubbles trade it — a uniform
+        # draw from the merged pool would drown the few legal retimings.
+        rng.shuffle(retimes)
+        rng.shuffle(bubbles)
+        sample: List[Move] = []
+        while len(sample) < size and (retimes or bubbles):
+            if retimes:
+                sample.append(retimes.pop())
+            if len(sample) < size and bubbles:
+                sample.append(bubbles.pop())
+        return sample
+
+    def random_walk(
+        self, state: SearchState, rng: random.Random, steps: int
+    ) -> None:
+        """Perturb a state in place with ``steps`` random legal moves."""
+        for _ in range(steps):
+            moves = self.sample_moves(state, rng, size=8)
+            if not moves:
+                return
+            state.apply(rng.choice(moves))

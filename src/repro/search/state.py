@@ -1,0 +1,202 @@
+"""Mutable retiming-and-recycling search state with cheap moves.
+
+A :class:`SearchState` is the local-search view of a configuration: integer
+lags per node and token/buffer counts per edge, stored in flat lists indexed
+by node/edge position so a move touches only the incident edges.  Two move
+kinds span the same configuration space the MILPs explore (anti-tokens
+included — the compiled engine simulates negative markings exactly like the
+MILP experiments' candidates):
+
+* ``retime`` — shift one register across a node (lag +-1).  Registers move,
+  bubbles stay: each incident edge keeps its bubble count
+  (``R' - max(R0', 0)``), so the buffer vector follows the token shift.
+* ``bubble`` — insert or remove one empty buffer on an edge.
+
+Every move preserves feasibility by construction: ``R' >= max(R0', 0)``
+holds on every edge, and liveness is inherited from the base RRG because
+retiming preserves cycle token sums and bubbles do not change tokens at
+all (a live cycle therefore always keeps a buffered edge, which is what
+keeps the zero-buffer subgraph acyclic for the cycle-time sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.configuration import RRConfiguration, RetimingVector
+from repro.core.rrg import RRG
+
+#: Move kinds.
+RETIME = "retime"
+BUBBLE = "bubble"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One local-search move.
+
+    Attributes:
+        kind: ``"retime"`` (target is a node position, delta a lag shift) or
+            ``"bubble"`` (target is an edge index, delta a buffer change).
+        target: Node position (retime) or edge index (bubble).
+        delta: +1 or -1.
+    """
+
+    kind: str
+    target: int
+    delta: int
+
+    def inverse(self) -> "Move":
+        return Move(self.kind, self.target, -self.delta)
+
+
+class SearchState:
+    """Tokens, buffers and lags of one candidate configuration.
+
+    The state never copies the RRG; it shares the immutable structure (node
+    order, edge endpoints, base tokens) and owns only the three mutable
+    vectors.  ``apply``/``revert`` are exact inverses, so strategies can
+    explore a neighborhood by mutating one state in place.
+    """
+
+    __slots__ = ("rrg", "node_names", "_node_pos", "edge_src", "edge_dst",
+                 "base_tokens", "in_edges", "out_edges", "lags", "tokens",
+                 "buffers")
+
+    def __init__(self, rrg: RRG) -> None:
+        self.rrg = rrg
+        self.node_names: List[str] = rrg.node_names
+        self._node_pos: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        edges = rrg.edges
+        self.edge_src: List[int] = [self._node_pos[e.src] for e in edges]
+        self.edge_dst: List[int] = [self._node_pos[e.dst] for e in edges]
+        self.base_tokens: List[int] = [e.tokens for e in edges]
+        self.in_edges: List[List[int]] = [[] for _ in self.node_names]
+        self.out_edges: List[List[int]] = [[] for _ in self.node_names]
+        for index in range(len(edges)):
+            self.out_edges[self.edge_src[index]].append(index)
+            self.in_edges[self.edge_dst[index]].append(index)
+        self.lags: List[int] = [0] * len(self.node_names)
+        self.tokens: List[int] = list(self.base_tokens)
+        self.buffers: List[int] = [e.buffers for e in edges]
+
+    # -- copies ---------------------------------------------------------------
+
+    def copy(self) -> "SearchState":
+        clone = SearchState.__new__(SearchState)
+        clone.rrg = self.rrg
+        clone.node_names = self.node_names
+        clone._node_pos = self._node_pos
+        clone.edge_src = self.edge_src
+        clone.edge_dst = self.edge_dst
+        clone.base_tokens = self.base_tokens
+        clone.in_edges = self.in_edges
+        clone.out_edges = self.out_edges
+        clone.lags = list(self.lags)
+        clone.tokens = list(self.tokens)
+        clone.buffers = list(self.buffers)
+        return clone
+
+    # -- moves ----------------------------------------------------------------
+
+    def can_apply(self, move: Move) -> bool:
+        """Whether the move keeps the state feasible — and locally sane.
+
+        Bubble removal needs an empty buffer to remove.  A retiming is legal
+        when no incident token count is pushed (further) below zero: an edge
+        driven negative keeps its buffer floor at 0, which *adds* latency to
+        every cycle through it and craters throughput — so moves stay in the
+        register-shift regime where retiming preserves cycle latency sums.
+        States adopted from the MILP may carry anti-tokens; moves on them may
+        raise a negative count, never deepen it.
+        """
+        if move.kind == BUBBLE:
+            if move.delta > 0:
+                return True
+            return self.bubbles(move.target) >= 1
+        if move.kind == RETIME:
+            delta = move.delta
+            tokens = self.tokens
+            for edge in self.in_edges[move.target]:
+                if self.edge_src[edge] != move.target:  # self-loops unaffected
+                    new = tokens[edge] + delta
+                    if new < 0 and new < tokens[edge]:
+                        return False
+            for edge in self.out_edges[move.target]:
+                if self.edge_dst[edge] != move.target:
+                    new = tokens[edge] - delta
+                    if new < 0 and new < tokens[edge]:
+                        return False
+            return True
+        raise ValueError(f"unknown move kind {move.kind!r}")
+
+    def apply(self, move: Move) -> None:
+        """Apply a legal move in place (caller checks :meth:`can_apply`)."""
+        if move.kind == BUBBLE:
+            self.buffers[move.target] += move.delta
+            return
+        delta = move.delta
+        node = move.target
+        tokens, buffers = self.tokens, self.buffers
+        self.lags[node] += delta
+        # Registers move with the retiming; bubbles (R' - max(R0', 0)) stay
+        # put, so the buffer count follows the *positive part* of the token
+        # count on every incident edge.
+        for edge in self.in_edges[node]:
+            if self.edge_src[edge] != node:  # self-loops are unaffected
+                old = tokens[edge]
+                tokens[edge] = old + delta
+                buffers[edge] += max(old + delta, 0) - max(old, 0)
+        for edge in self.out_edges[node]:
+            if self.edge_dst[edge] != node:
+                old = tokens[edge]
+                tokens[edge] = old - delta
+                buffers[edge] += max(old - delta, 0) - max(old, 0)
+
+    def revert(self, move: Move) -> None:
+        """Undo a previously applied move."""
+        self.apply(move.inverse())
+
+    # -- views ----------------------------------------------------------------
+
+    def bubbles(self, edge: int) -> int:
+        """Empty buffers on an edge (``R' - max(R0', 0)``)."""
+        return self.buffers[edge] - max(self.tokens[edge], 0)
+
+    def token_vector(self) -> Dict[int, int]:
+        return {i: count for i, count in enumerate(self.tokens)}
+
+    def buffer_vector(self) -> Dict[int, int]:
+        return {i: count for i, count in enumerate(self.buffers)}
+
+    def signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Hashable identity of the configuration (tokens, buffers)."""
+        return (tuple(self.tokens), tuple(self.buffers))
+
+    def as_configuration(self, label: str = "") -> RRConfiguration:
+        """Materialise as a validated :class:`RRConfiguration`."""
+        lags = {
+            self.node_names[i]: lag for i, lag in enumerate(self.lags) if lag
+        }
+        return RRConfiguration(
+            self.rrg,
+            RetimingVector(lags),
+            self.buffer_vector(),
+            label=label,
+        )
+
+    @classmethod
+    def from_configuration(cls, configuration: RRConfiguration) -> "SearchState":
+        """State equivalent to an existing configuration (e.g. a MILP best)."""
+        state = cls(configuration.rrg)
+        for i, name in enumerate(state.node_names):
+            state.lags[i] = configuration.retiming.lag(name)
+        tokens = configuration.token_vector()
+        buffers = configuration.buffer_vector()
+        for index in range(len(state.tokens)):
+            state.tokens[index] = tokens[index]
+            state.buffers[index] = buffers[index]
+        return state

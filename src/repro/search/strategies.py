@@ -1,0 +1,209 @@
+"""Step-based local-search strategies raced by the portfolio.
+
+A strategy is a cooperative iterator: :meth:`Strategy.step` performs one
+bounded unit of work (at most ``sample_size`` evaluation attempts) and
+returns a new personal-best ``(state copy, evaluation)`` when it improved.
+The racer interleaves steps across strategies, so every strategy is anytime
+by construction and the interleaving order is deterministic.
+
+Strategies only consume randomness from their own ``random.Random(seed)``;
+evaluation attempts go through the shared :class:`~repro.search.problem.
+SearchProblem` counters, which is what the racer budgets.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.search.problem import Evaluation, SearchProblem
+from repro.search.state import Move, SearchState
+
+Candidate = Tuple[SearchState, Evaluation]
+
+
+class Strategy:
+    """Base class: common bookkeeping for step-based strategies."""
+
+    name = "strategy"
+
+    def __init__(self) -> None:
+        self.problem: Optional[SearchProblem] = None
+        self.rng: Optional[random.Random] = None
+        self.seed: Optional[int] = None
+        self.steps = 0
+        self.improvements = 0
+        self.exhausted = False
+        self.best_xi = math.inf
+
+    def start(
+        self, problem: SearchProblem, state: SearchState, evaluation: Evaluation,
+        seed: int,
+    ) -> None:
+        """Bind the strategy to a problem and a starting point."""
+        self.problem = problem
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.state = state.copy()
+        self.evaluation = evaluation
+        self.best_xi = evaluation.effective_cycle_time
+
+    def step(self) -> Optional[Candidate]:
+        """One unit of work; a new personal best when improved, else None."""
+        raise NotImplementedError
+
+    def _record(self, evaluation: Evaluation) -> Optional[Candidate]:
+        """Track the personal best; return the candidate when it improved."""
+        xi = evaluation.effective_cycle_time
+        if xi < self.best_xi - 1e-12:
+            self.best_xi = xi
+            self.improvements += 1
+            return (self.state.copy(), evaluation)
+        return None
+
+
+class GreedyDescent(Strategy):
+    """Steepest-descent over sampled neighborhoods, with random restarts.
+
+    Each step samples up to ``sample_size`` moves, evaluates them through the
+    admissible filters (threshold = the current point's ``xi``) and commits
+    the best improving one.  At a local optimum the walk restarts from a
+    random perturbation of the best state seen; after ``max_restarts``
+    fruitless restarts the strategy is exhausted.
+    """
+
+    name = "descent"
+
+    def __init__(
+        self, sample_size: int = 12, max_restarts: int = 4,
+        perturbation: int = 4,
+    ) -> None:
+        super().__init__()
+        self.sample_size = sample_size
+        self.max_restarts = max_restarts
+        self.perturbation = perturbation
+        self._restarts = 0
+
+    def start(self, problem, state, evaluation, seed):  # noqa: D102
+        super().start(problem, state, evaluation, seed)
+        self._best_state = state.copy()
+        self._restarts = 0
+
+    def step(self) -> Optional[Candidate]:
+        if self.exhausted:
+            return None
+        self.steps += 1
+        problem, state, rng = self.problem, self.state, self.rng
+        moves = problem.sample_moves(state, rng, self.sample_size)
+        threshold = self.evaluation.effective_cycle_time
+        best_move: Optional[Move] = None
+        best_eval: Optional[Evaluation] = None
+        for move in moves:
+            state.apply(move)
+            candidate = problem.evaluate_bounded(state, threshold)
+            state.revert(move)
+            if candidate is None:
+                continue
+            if (
+                best_eval is None
+                or candidate.effective_cycle_time
+                < best_eval.effective_cycle_time - 1e-12
+            ):
+                best_move, best_eval = move, candidate
+        if best_move is not None and (
+            best_eval.effective_cycle_time < threshold - 1e-12
+        ):
+            state.apply(best_move)
+            self.evaluation = best_eval
+            improved = self._record(best_eval)
+            if improved is not None:
+                self._best_state = improved[0].copy()
+            return improved
+        # Local optimum: restart from a perturbation of the best state.
+        self._restarts += 1
+        if self._restarts > self.max_restarts:
+            self.exhausted = True
+            return None
+        self.state = self._best_state.copy()
+        problem.random_walk(self.state, rng, self.perturbation)
+        self.evaluation = problem.evaluate(self.state)
+        return self._record(self.evaluation)
+
+
+class SimulatedAnnealing(Strategy):
+    """Metropolis acceptance over single sampled moves, geometric cooling.
+
+    The temperature starts at ``initial_fraction`` of the starting ``xi``
+    and multiplies by ``cooling`` per step; the strategy is exhausted when
+    the schedule of ``schedule_steps`` steps completes (the racer sizes the
+    schedule from its deterministic evaluation budget) or the temperature
+    hits its floor.
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self, schedule_steps: int = 200, initial_fraction: float = 0.08,
+        min_temperature: float = 1e-4, sample_size: int = 6,
+    ) -> None:
+        super().__init__()
+        self.schedule_steps = max(1, int(schedule_steps))
+        self.initial_fraction = initial_fraction
+        self.min_temperature = min_temperature
+        self.sample_size = sample_size
+
+    def start(self, problem, state, evaluation, seed):  # noqa: D102
+        super().start(problem, state, evaluation, seed)
+        xi0 = evaluation.effective_cycle_time
+        scale = xi0 if math.isfinite(xi0) else 1.0
+        self.temperature = max(self.initial_fraction * scale,
+                               self.min_temperature)
+        # Reach the floor exactly when the schedule ends.
+        ratio = self.min_temperature / self.temperature
+        self.cooling = ratio ** (1.0 / self.schedule_steps)
+
+    def step(self) -> Optional[Candidate]:
+        if self.exhausted:
+            return None
+        self.steps += 1
+        problem, state, rng = self.problem, self.state, self.rng
+        moves = problem.sample_moves(state, rng, self.sample_size)
+        improved: Optional[Candidate] = None
+        if moves:
+            move = rng.choice(moves)
+            state.apply(move)
+            # Anneal must see the true value of accepted uphill moves, so it
+            # evaluates without the incumbent filter (one attempt per step
+            # keeps the budget accounting identical).
+            candidate = problem.evaluate(state)
+            delta = (
+                candidate.effective_cycle_time
+                - self.evaluation.effective_cycle_time
+            )
+            accept = delta <= 0 or (
+                math.isfinite(delta)
+                and rng.random() < math.exp(-delta / self.temperature)
+            )
+            if accept:
+                self.evaluation = candidate
+                improved = self._record(candidate)
+            else:
+                state.revert(move)
+        self.temperature *= self.cooling
+        if self.steps >= self.schedule_steps or (
+            self.temperature < self.min_temperature
+        ):
+            self.exhausted = True
+        return improved
+
+
+def make_strategy(name: str, **overrides) -> Strategy:
+    """Instantiate a strategy by registry name (``descent`` / ``anneal``)."""
+    if name == "descent":
+        return GreedyDescent(**overrides)
+    if name == "anneal":
+        return SimulatedAnnealing(**overrides)
+    raise ValueError(
+        f"unknown search strategy {name!r}; expected 'descent' or 'anneal'"
+    )

@@ -1,0 +1,27 @@
+"""Deterministic hash-based seed derivation shared across subsystems.
+
+One scheme, used everywhere a child seed is needed: the pipeline runner
+derives per-job seeds from an experiment's root seed, and the search
+subsystem derives per-strategy seeds from a job's search seed.  Hash-based
+splitting (rather than drawing from a shared ``random.Random``) makes every
+child independent of how many siblings were derived before it, so adding a
+job to a sweep — or a strategy to a portfolio — never reshuffles the others,
+and shard assignment cannot matter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def derive_seed(root_seed: int, *labels: Any) -> int:
+    """A deterministic child seed from a root seed and stable labels.
+
+    The labels must be stable, repr-able values (strings, ints, tuples);
+    the same ``(root_seed, labels)`` pair derives the same child seed on any
+    platform and in any process.
+    """
+    text = repr((int(root_seed),) + labels)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)

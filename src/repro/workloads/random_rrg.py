@@ -102,10 +102,13 @@ def randomize_rrg(
     rng = random.Random(seed)
     if nodes is None:
         seen: List[str] = []
+        seen_set: Set[str] = set()
         for src, dst in structure:
-            if src not in seen:
+            if src not in seen_set:
+                seen_set.add(src)
                 seen.append(src)
-            if dst not in seen:
+            if dst not in seen_set:
+                seen_set.add(dst)
                 seen.append(dst)
         nodes = seen
 
@@ -162,6 +165,10 @@ def random_structure(
         raise ValueError("need at least as many edges as nodes for a cycle")
     rng = random.Random(seed)
     names = [f"n{i}" for i in range(num_nodes)]
+    # Name -> position lookup once, up front: the self-loop redirection below
+    # must stay O(1) per edge (a ``names.index`` scan there made the whole
+    # generator quadratic, which is prohibitive at the large_rrg sizes).
+    position = {name: i for i, name in enumerate(names)}
     order = list(names)
     rng.shuffle(order)
     edges: List[Tuple[str, str]] = [
@@ -175,7 +182,7 @@ def random_structure(
         else:
             dst = rng.choice(names)
         if dst == src:
-            dst = names[(names.index(src) + 1) % num_nodes]
+            dst = names[(position[src] + 1) % num_nodes]
         edges.append((src, dst))
     return edges
 
@@ -186,15 +193,61 @@ def random_rrg(
     config: Optional[RandomRRGConfig] = None,
     seed: Optional[int] = None,
     name: Optional[str] = None,
+    multi_input_nodes: int = 0,
 ) -> RRG:
     """A random strongly connected RRG following the Section 5 recipe."""
-    structure = random_structure(num_nodes, num_edges, seed=seed)
+    structure = random_structure(
+        num_nodes, num_edges, seed=seed, multi_input_nodes=multi_input_nodes
+    )
     return randomize_rrg(
         structure,
         nodes=[f"n{i}" for i in range(num_nodes)],
         config=config,
         seed=None if seed is None else seed + 1,
         name=name or f"random-{num_nodes}n-{num_edges}e",
+    )
+
+
+def large_random_rrg(
+    num_nodes: int,
+    edge_factor: float = 2.0,
+    early_fraction: float = 0.2,
+    token_probability: float = 0.25,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> RRG:
+    """A large random RRG for the heuristic-search workloads (``large_rrg``).
+
+    The Section 5 recipe, parameterized the way the search subsystem needs:
+
+    * ``num_nodes`` nodes with ``round(num_nodes * edge_factor)`` edges,
+      biased so a fraction of the nodes collect multiple inputs (candidates
+      for early evaluation);
+    * ``early_fraction`` is the probability that a multi-input node becomes
+      early-evaluating (the paper's recipe fixes 0.4; large sweeps want this
+      as a knob);
+    * generation and validation are both O(V + E): the structure generator,
+      the attribute randomiser and the liveness check all stay linear, so a
+      5000-node instance builds in well under a second.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if edge_factor < 1.0:
+        raise ValueError("edge_factor must be >= 1 (strong connectivity)")
+    if not 0.0 <= early_fraction <= 1.0:
+        raise ValueError("early_fraction must lie in [0, 1]")
+    num_edges = max(num_nodes + 1, int(round(num_nodes * edge_factor)))
+    config = RandomRRGConfig(
+        token_probability=token_probability,
+        early_probability=early_fraction,
+    )
+    return random_rrg(
+        num_nodes,
+        num_edges,
+        config=config,
+        seed=seed,
+        name=name or f"large-{num_nodes}n-{num_edges}e",
+        multi_input_nodes=max(2, num_nodes // 8),
     )
 
 

@@ -43,7 +43,7 @@ from repro.workloads.iscas_like import (
     iscas_like_rrg,
     scaled_spec,
 )
-from repro.workloads.random_rrg import random_rrg
+from repro.workloads.random_rrg import large_random_rrg, random_rrg
 
 
 class ScenarioError(Exception):
@@ -280,6 +280,33 @@ def _register_random() -> None:
         family="random",
     ))
 
+    def _build_large(
+        num_nodes: int, edge_factor: float, early_fraction: float,
+        token_probability: float, seed: int,
+    ) -> RRG:
+        return large_random_rrg(
+            int(num_nodes),
+            edge_factor=float(edge_factor),
+            early_fraction=float(early_fraction),
+            token_probability=float(token_probability),
+            seed=int(seed),
+        )
+
+    register_scenario(ScenarioSpec(
+        name="large-rrg",
+        description="Large random RRG for heuristic search (500-5000 nodes)",
+        builder=_build_large,
+        defaults={
+            "num_nodes": 500,
+            "edge_factor": 2.0,
+            "early_fraction": 0.2,
+            "token_probability": 0.25,
+            "seed": 1,
+        },
+        family="random",
+        tags=("large", "search"),
+    ))
+
 
 _register_examples()
 _register_iscas()
@@ -297,6 +324,23 @@ def random_sweep_family(
             "random",
             num_nodes=(num_nodes,),
             num_edges=(num_edges,),
+            seed=list(seeds),
+        ))
+    return instances
+
+
+def large_rrg_family(
+    sizes: Sequence[int] = (500, 1000, 2000, 5000),
+    seeds: Iterable[int] = range(2),
+    early_fraction: float = 0.2,
+) -> List[Tuple[str, Dict[str, object]]]:
+    """A size x seed grid of large search workloads (the scale sweep)."""
+    instances: List[Tuple[str, Dict[str, object]]] = []
+    for num_nodes in sizes:
+        instances.extend(scenario_grid(
+            "large-rrg",
+            num_nodes=(int(num_nodes),),
+            early_fraction=(float(early_fraction),),
             seed=list(seeds),
         ))
     return instances
