@@ -31,6 +31,22 @@ Every ``run`` accepts ``--shards`` (process-parallel sweep), ``--store``
 sharded runs print identical tables).  A ``run`` interrupted with Ctrl-C
 finishes its in-flight jobs, publishes their artifacts and exits 130; a
 second Ctrl-C aborts immediately.
+
+Resilience knobs (see :mod:`repro.resilience`)::
+
+    python -m repro run table2-small --store .s --run-id nightly --shards 2
+    python -m repro run --resume nightly --store .s --shards 2
+    python -m repro run table2-small --inject store_write:0.1,stage:0.05 \\
+        --fault-seed 7
+    python -m repro run table2-small --deadline 30
+    python -m repro submit table2-small --deadline 30
+
+``--run-id`` journals every completed job next to the store so ``--resume``
+can skip it without recomputing (a killed run loses only unjournaled work).
+``--inject`` installs a seeded, deterministic fault plan — the same spec and
+``--fault-seed`` reproduce the same failure schedule exactly.  ``--deadline``
+bounds the whole run; an exact MILP that would overshoot degrades to the
+heuristic portfolio and the result is marked ``degraded`` instead of cached.
 """
 
 from __future__ import annotations
@@ -108,19 +124,112 @@ def _write_output(result: Dict[str, Any], args: argparse.Namespace) -> None:
             print(f"wrote {path}")
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The FaultPlan declared by --inject/--fault-seed (None without them)."""
+    if not getattr(args, "inject", None):
+        return None
+    from repro.resilience import FaultPlan
+
+    return FaultPlan.from_spec(args.inject, seed=getattr(args, "fault_seed", 0))
+
+
+def _open_journal(args: argparse.Namespace, run_id: str):
+    """The RunJournal for --run-id/--resume (requires --store)."""
+    from repro.resilience import RunJournal
+
+    if args.store is None:
+        raise SystemExit(
+            "error: --run-id/--resume need --store "
+            "(the journal lives next to the artifact store)"
+        )
+    return RunJournal.for_store(args.store, run_id)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.resilience import injected, journaling, optional_scope
+    from repro.resilience.journal import JournalError
+
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive seconds", file=sys.stderr)
+        return 2
+    try:
+        plan = _fault_plan(args)
+    except ValueError as exc:
+        print(f"error: bad --inject spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.run_id and args.resume:
+        print(
+            "error: use --run-id to start a journaled run or --resume to "
+            "continue one, not both",
+            file=sys.stderr,
+        )
+        return 2
+    target: Optional[str] = args.target
+    options = _run_options(args)
+    run_id = args.run_id or args.resume
+    journal = None
+    try:
+        if run_id is not None:
+            journal = _open_journal(args, run_id)
+        if args.resume:
+            manifest = journal.manifest()
+            if manifest is None:
+                print(
+                    f"error: no journaled run {run_id!r} under {args.store} "
+                    "(start one with --run-id)",
+                    file=sys.stderr,
+                )
+                return 2
+            if target is not None and target != manifest.get("target"):
+                print(
+                    f"error: --resume {run_id} journals target "
+                    f"{manifest.get('target')!r}, not {target!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            # The manifest is the source of truth: a resume re-declares the
+            # original compute options bit-identically; only execution knobs
+            # (--shards/--store) come from this invocation.
+            target = str(manifest["target"])
+            options = RunOptions.from_mapping(
+                manifest.get("options") or {}
+            ).with_execution(args.shards, args.store)
+        if target is None:
+            print(
+                "error: a run target is required (or --resume <run-id>)",
+                file=sys.stderr,
+            )
+            return 2
+        if journal is not None:
+            journal.write_manifest(target, options.describe())
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     log = EventLog()
     try:
-        with graceful_interrupts():
-            result = run_preset(args.target, _run_options(args), _events(args, log))
+        with graceful_interrupts(), injected(plan), journaling(journal), \
+                optional_scope(args.deadline):
+            result = run_preset(target, options, _events(args, log))
     except PipelineAborted as exc:
+        hint = (
+            f"resume with --resume {run_id}" if journal is not None
+            else "re-run to finish"
+        )
         print(
             f"interrupted: {exc.completed}/{exc.total} job(s) completed "
-            "(published artifacts are kept; re-run to finish)",
+            f"(published artifacts are kept; {hint})",
             file=sys.stderr,
         )
         return 130
     _render_result(result, sys.stdout)
+    for entry in result.get("degraded") or []:
+        print(
+            f"degraded: {entry.get('job_id')}: {entry.get('reason')} "
+            "(answer is a fallback; it was not cached)",
+            file=sys.stderr,
+        )
     if args.store is not None and not args.quiet:
         done = len(log.of_kind("job-done"))
         print(f"store: {log.cached_jobs}/{done} job(s) served from {args.store}")
@@ -201,8 +310,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         if not args.quiet:
             printer(PipelineEvent(**event))
 
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive seconds", file=sys.stderr)
+        return 2
+
     try:
-        record = client.submit_run(args.target, options)
+        record = client.submit_run(args.target, options, deadline=args.deadline)
         if args.no_wait:
             print(json.dumps(record, indent=2))
             return 0
@@ -222,6 +335,13 @@ def cmd_submit(args: argparse.Namespace) -> int:
     result = document.get("result") or {}
     if not args.quiet and document.get("cached"):
         print(f"service: answered from {document['cached']} cache")
+    if isinstance(result, dict):
+        for entry in result.get("degraded") or []:
+            print(
+                f"degraded: {entry.get('job_id')}: {entry.get('reason')} "
+                "(answer is a fallback; the service did not cache it)",
+                file=sys.stderr,
+            )
     if isinstance(result, dict) and "headers" in result:
         _render_result(result, sys.stdout)
     else:
@@ -275,11 +395,31 @@ def build_parser() -> argparse.ArgumentParser:
                              help="suppress progress events")
 
     run = sub.add_parser("run", help="run an experiment preset or scenario")
-    run.add_argument("target", help="experiment preset or scenario name")
+    run.add_argument("target", nargs="?", default=None,
+                     help="experiment preset or scenario name "
+                          "(optional with --resume)")
     run.add_argument("--shards", type=int, default=1,
                      help="worker processes (default 1 = serial)")
     run.add_argument("--store", default=None,
                      help="persistent artifact store directory")
+    run.add_argument("--deadline", type=float, default=None,
+                     help="overall run budget in seconds; an exact MILP that "
+                          "would overshoot degrades to the heuristic "
+                          "portfolio instead of failing")
+    run.add_argument("--inject", default=None,
+                     metavar="SITE:RATE[,SITE:RATE...]",
+                     help="seeded deterministic fault injection, e.g. "
+                          "store_write:0.1,stage:0.05 (sites: store_read, "
+                          "store_write, stage, worker_start, solver_stall, "
+                          "connection)")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="root seed of the --inject fault plan (default 0)")
+    run.add_argument("--run-id", default=None,
+                     help="journal completed jobs under this id next to "
+                          "--store, enabling --resume after a crash")
+    run.add_argument("--resume", default=None, metavar="RUN_ID",
+                     help="resume a journaled run: re-declares its target "
+                          "and options, skips journaled-complete jobs")
     add_compute_options(run)
     run.set_defaults(func=cmd_run)
 
@@ -314,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     sbm.add_argument("--port", type=int, default=8642, help="service port")
     sbm.add_argument("--timeout", type=float, default=600.0,
                      help="overall wait timeout in seconds (default 600)")
+    sbm.add_argument("--deadline", type=float, default=None,
+                     help="server-side compute budget in seconds (the run "
+                          "degrades rather than overshoot it)")
     sbm.add_argument("--no-wait", action="store_true",
                      help="print the queued record instead of waiting")
     add_compute_options(sbm)

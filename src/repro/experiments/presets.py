@@ -40,6 +40,7 @@ from repro.experiments.table2 import (
     run_table2,
     table2_as_rows,
 )
+from repro.pipeline import events as ev
 from repro.pipeline.events import EventCallback
 from repro.pipeline.runner import derive_seed, run_jobs
 from repro.pipeline.stages import (
@@ -503,23 +504,43 @@ def run_preset(
         raise ScenarioError(
             "--size parameterizes the large-scale preset only"
         )
+
+    # Watch the event stream for ``degraded`` markers: reducers flatten
+    # payloads into rows, so this is the only place a deadline fallback deep
+    # inside a sweep can reach the rendered result (callers — the service,
+    # the CLI — must be able to tell a degraded answer from an exact one,
+    # and must never cache it).
+    degraded: List[Dict[str, Any]] = []
+
+    def observe(event) -> None:
+        if event.kind == ev.DEGRADED:
+            degraded.append({
+                "job_id": event.job_id, "reason": event.message,
+            })
+        if events is not None:
+            events(event)
+
     if target == "motivational":
-        return _run_motivational(options, events)
-    if target == "table1":
-        return _run_table1(options, events)
-    if target in ("table2", "table2-small"):
-        return _run_table2(options, events, small=target.endswith("small"))
-    if target == "ablations":
-        return _run_ablations(options, events)
-    if target == "large-scale":
-        return _run_large_scale(options, events)
-    if has_scenario(target):
-        return _run_scenario(target, options, events)
-    known = ", ".join(EXPERIMENT_TARGETS)
-    raise UnknownTargetError(
-        f"unknown target {target!r}; expected one of {known} "
-        "or a scenario name (see list-scenarios)"
-    )
+        result = _run_motivational(options, observe)
+    elif target == "table1":
+        result = _run_table1(options, observe)
+    elif target in ("table2", "table2-small"):
+        result = _run_table2(options, observe, small=target.endswith("small"))
+    elif target == "ablations":
+        result = _run_ablations(options, observe)
+    elif target == "large-scale":
+        result = _run_large_scale(options, observe)
+    elif has_scenario(target):
+        result = _run_scenario(target, options, observe)
+    else:
+        known = ", ".join(EXPERIMENT_TARGETS)
+        raise UnknownTargetError(
+            f"unknown target {target!r}; expected one of {known} "
+            "or a scenario name (see list-scenarios)"
+        )
+    if degraded:
+        result["degraded"] = degraded
+    return result
 
 
 def is_run_target(target: str) -> bool:

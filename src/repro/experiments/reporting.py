@@ -71,8 +71,13 @@ def render_event(event: ev.PipelineEvent) -> Optional[str]:
         return f"[{event.index}/{event.total}] {event.job_id}: done{seconds}{suffix}"
     if event.kind == ev.JOB_FAILED:
         return f"[{event.index}/{event.total}] {event.job_id}: FAILED {event.message}"
-    if event.kind in (ev.FALLBACK, ev.ABORTED):
+    if event.kind in (ev.FALLBACK, ev.WORKER_RETRY, ev.ABORTED):
         return f"pipeline: {event.message}"
+    if event.kind == ev.DEGRADED:
+        return (
+            f"[{event.index}/{event.total}] {event.job_id}: "
+            f"DEGRADED ({event.message})"
+        )
     if event.kind == ev.PIPELINE_DONE:
         seconds = f" in {event.seconds:.2f}s" if event.seconds is not None else ""
         return f"pipeline: finished {event.total} job(s){seconds}"

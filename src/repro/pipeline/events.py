@@ -17,6 +17,8 @@ JOB_START = "job-start"
 JOB_DONE = "job-done"
 JOB_FAILED = "job-failed"
 FALLBACK = "fallback"
+WORKER_RETRY = "worker-retry"
+DEGRADED = "degraded"
 ABORTED = "aborted"
 PIPELINE_DONE = "pipeline-done"
 

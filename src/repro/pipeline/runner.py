@@ -13,9 +13,19 @@ serial one.  When a :class:`~repro.pipeline.store.ArtifactStore` is given,
 each worker consults it before computing and publishes after, so shards
 share results across processes and a re-run only recomputes what changed.
 
-The parallel path degrades gracefully: if the platform cannot spawn workers
-(sandboxes without fork, broken pools mid-run), the runner emits a
-``fallback`` event and finishes the remaining jobs serially.
+The parallel path degrades gracefully: a pool whose workers died mid-run
+(crashed or OOM-killed shards, including injected ``worker_start`` faults)
+is rebuilt up to :data:`POOL_REBUILDS` times — each rebuild emits a
+``worker-retry`` event and re-runs only the uncollected jobs — and if the
+platform cannot sustain a pool at all, the runner emits a ``fallback`` event
+and finishes the remaining jobs serially.
+
+Resilience wiring: the runner ships the ambient
+:class:`~repro.resilience.faults.FaultPlan` to pool workers (process globals
+do not survive spawn) and, when a :class:`~repro.resilience.journal.RunJournal`
+is ambient (see :func:`repro.resilience.journal.journaling`), records each
+completed job's store key in the parent process and serves journaled-complete
+jobs straight from the store on resume — without rebuilding their graphs.
 """
 
 from __future__ import annotations
@@ -37,6 +47,9 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.pipeline import events as ev
 from repro.pipeline.stages import Job, execute_job, job_store_key
 from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
+from repro.resilience import faults as _faults
+from repro.resilience.faults import FaultPlan
+from repro.resilience.journal import RunJournal, active_journal
 from repro.seeding import derive_seed
 from repro.sim import cache as _sim_cache
 
@@ -48,6 +61,11 @@ __all__ = [
 ]
 
 StoreLike = Union[ArtifactStore, str, os.PathLike, None]
+
+#: How many times a broken worker pool is rebuilt before falling back to the
+#: serial path.  Each rebuild ships an incremented attempt to the workers, so
+#: an injected ``worker_start`` fault draws a fresh (independent) decision.
+POOL_REBUILDS = 2
 
 
 class PipelineAborted(RuntimeError):
@@ -123,18 +141,21 @@ def _resolve_store(store: StoreLike) -> Optional[ArtifactStore]:
 
 def _run_one(
     job: Job, store: Optional[ArtifactStore]
-) -> Tuple[Dict[str, Any], bool]:
+) -> Tuple[Dict[str, Any], bool, Optional[str]]:
     """Execute one job, going through the store when one is configured.
 
-    Returns ``(payload, cached)``.
+    Returns ``(payload, cached, store_key)`` — the key is None without a
+    store.  Degraded payloads (deadline fallbacks) are never published: the
+    store must only ever hold the exact, declaration-pure result, so a later
+    unconstrained run recomputes instead of inheriting a degraded answer.
     """
     rrg = job.build.build()
     if store is None:
-        return execute_job(job, rrg=rrg), False
+        return execute_job(job, rrg=rrg), False, None
     key = job_store_key(job, rrg)
     payload = store.get(key)
     if payload is not None:
-        return payload, True
+        return payload, True, key
     # Share fine-grained simulated throughputs across shards too: identical
     # configurations reappearing in other jobs become disk hits.  Any backend
     # the caller had installed globally is restored afterwards.
@@ -144,8 +165,9 @@ def _run_one(
         payload = execute_job(job, rrg=rrg)
     finally:
         _sim_cache.set_persistent_backend(previous_backend)
-    store.put(key, payload)
-    return payload, False
+    if "degraded" not in payload:
+        store.put(key, payload)
+    return payload, False, key
 
 
 def _worker_init() -> None:
@@ -166,19 +188,29 @@ def _worker_init() -> None:
 
 
 def _worker(
-    args: Tuple[Job, Optional[str]]
-) -> Tuple[Dict[str, Any], bool, float]:
+    args: Tuple[Job, Optional[str], Optional[FaultPlan], int]
+) -> Tuple[Dict[str, Any], bool, float, Optional[str]]:
     """Pool entry point: run one job and report its compute time.
 
     Timing happens here, in the worker, so JOB_DONE durations measure actual
     execution rather than queue wait in a busy pool.  Top-level so process
     pools can pickle it; each worker opens its own view of the store.
+
+    The parent ships the ambient fault plan explicitly (process globals do
+    not survive spawn-started workers) plus the pool attempt, so injected
+    fault draws match a serial run of the same plan and a rebuilt pool draws
+    independently.  A scheduled ``worker_start`` fault exits the process the
+    way a crash/OOM kill would — the parent sees ``BrokenProcessPool``.
     """
-    job, store_root = args
+    job, store_root, plan, pool_attempt = args
+    if plan is not None:
+        _faults.install_plan(plan)
+    if _faults.should_crash_worker(job.job_id, pool_attempt):
+        os._exit(3)
     store = None if store_root is None else ArtifactStore(store_root)
     started = time.perf_counter()
-    payload, cached = _run_one(job, store)
-    return payload, cached, time.perf_counter() - started
+    payload, cached, key = _run_one(job, store)
+    return payload, cached, time.perf_counter() - started, key
 
 
 def run_jobs(
@@ -227,11 +259,37 @@ def run_jobs(
         ))
         return PipelineAborted(completed, len(jobs))
 
+    journal = active_journal() if resolved is not None else None
     pending = list(range(len(jobs)))
-    if effective > 1:
-        pending = _run_sharded(
-            jobs, pending, results, effective, store_root, emit, stop, _abort
+    if journal is not None and pending:
+        pending = _skip_journaled(
+            jobs, pending, results, resolved, journal, emit, effective
         )
+    if effective > 1 and pending:
+        plan = _faults.active_plan()
+        pool_attempt = 0
+        while pending:
+            pending, broken = _run_sharded(
+                jobs, pending, results, effective, store_root, emit, stop,
+                _abort, plan, pool_attempt, journal,
+            )
+            if not pending or not broken:
+                break
+            if pool_attempt >= POOL_REBUILDS:
+                emit(ev.PipelineEvent(
+                    kind=ev.FALLBACK,
+                    message=f"worker pool kept breaking after "
+                            f"{POOL_REBUILDS} rebuild(s); running "
+                            f"{len(pending)} job(s) serially",
+                ))
+                break
+            pool_attempt += 1
+            emit(ev.PipelineEvent(
+                kind=ev.WORKER_RETRY, total=len(jobs), shards=effective,
+                message=f"worker pool died; rebuilding "
+                        f"(attempt {pool_attempt}/{POOL_REBUILDS}, "
+                        f"{len(pending)} job(s) left)",
+            ))
     for index in pending:
         if stop():
             raise _abort()
@@ -242,7 +300,7 @@ def run_jobs(
         ))
         job_started = time.perf_counter()
         try:
-            payload, cached = _run_one(job, resolved)
+            payload, cached, key = _run_one(job, resolved)
         except Exception as exc:
             emit(ev.PipelineEvent(
                 kind=ev.JOB_FAILED, job_id=job.job_id, index=index + 1,
@@ -250,6 +308,8 @@ def run_jobs(
             ))
             raise
         results[index] = payload
+        _journal_done(journal, job.job_id, payload, key)
+        _emit_degraded(emit, payload, job.job_id, index, len(jobs), 1)
         emit(ev.PipelineEvent(
             kind=ev.JOB_DONE, job_id=job.job_id, index=index + 1,
             total=len(jobs), shards=1, cached=cached,
@@ -263,6 +323,81 @@ def run_jobs(
     return [payload for payload in results if payload is not None]
 
 
+def _emit_degraded(
+    emit: ev.EventCallback,
+    payload: Optional[Dict[str, Any]],
+    job_id: str,
+    index: int,
+    total: int,
+    shards: int,
+) -> None:
+    """Surface a payload's ``degraded`` provenance block as an event.
+
+    Reducers flatten payloads into rows, so without this event a caller
+    (service, CLI) could not tell a degraded sweep from an exact one.
+    """
+    if not payload or "degraded" not in payload:
+        return
+    block = payload["degraded"]
+    emit(ev.PipelineEvent(
+        kind=ev.DEGRADED, job_id=job_id, index=index + 1, total=total,
+        shards=shards, message=str(block.get("reason", "")),
+    ))
+
+
+def _journal_done(
+    journal: Optional[RunJournal],
+    job_id: str,
+    payload: Optional[Dict[str, Any]],
+    key: Optional[str],
+) -> None:
+    """Record one completion in the ambient journal (parent-side).
+
+    Degraded payloads are not journaled — like the store, the journal only
+    vouches for exact, declaration-pure results, so a resume recomputes them.
+    """
+    if journal is None or key is None or payload is None:
+        return
+    if "degraded" in payload:
+        return
+    journal.record_done(job_id, key)
+
+
+def _skip_journaled(
+    jobs: Sequence[Job],
+    pending: List[int],
+    results: List[Optional[Dict[str, Any]]],
+    store: ArtifactStore,
+    journal: RunJournal,
+    emit: ev.EventCallback,
+    shards: int,
+) -> List[int]:
+    """Serve journaled-complete jobs from the store; return what remains.
+
+    A journaled job whose artifact the store cannot produce (dropped write,
+    pruned entry) silently falls back into the pending list — the journal
+    accelerates a resume, it never gates correctness.
+    """
+    completed = journal.completed()
+    if not completed:
+        return pending
+    remaining: List[int] = []
+    for index in pending:
+        job = jobs[index]
+        key = completed.get(job.job_id)
+        payload = None if key is None else store.get(key)
+        if payload is None:
+            remaining.append(index)
+            continue
+        results[index] = payload
+        emit(ev.PipelineEvent(
+            kind=ev.JOB_DONE, job_id=job.job_id, index=index + 1,
+            total=len(jobs), shards=shards, cached=True, seconds=0.0,
+            message="journal",
+        ))
+    return remaining
+
+
 def _drain_pool(
     jobs: Sequence[Job],
     futures: Dict[Any, int],
@@ -270,11 +405,12 @@ def _drain_pool(
     results: List[Optional[Dict[str, Any]]],
     emit: ev.EventCallback,
     shards: int,
+    journal: Optional[RunJournal],
 ) -> None:
     """Graceful-stop drain: cancel queued futures, collect running ones.
 
     Workers publish their own artifacts, so anything that finishes during
-    the drain is both recorded here and persisted on disk.
+    the drain is both recorded here (journal included) and persisted on disk.
     """
     total = len(jobs)
     for future in not_done:
@@ -285,10 +421,12 @@ def _drain_pool(
             continue
         index = futures[future]
         try:
-            payload, cached, seconds = future.result()
+            payload, cached, seconds, key = future.result()
         except BaseException:
             continue  # a failing in-flight job does not outrank the abort
         results[index] = payload
+        _journal_done(journal, jobs[index].job_id, payload, key)
+        _emit_degraded(emit, payload, jobs[index].job_id, index, total, shards)
         emit(ev.PipelineEvent(
             kind=ev.JOB_DONE, job_id=jobs[index].job_id, index=index + 1,
             total=total, shards=shards, cached=cached, seconds=seconds,
@@ -304,10 +442,16 @@ def _run_sharded(
     emit: ev.EventCallback,
     stop: Callable[[], bool],
     abort: Callable[[], "PipelineAborted"],
-) -> List[int]:
+    plan: Optional[FaultPlan],
+    pool_attempt: int,
+    journal: Optional[RunJournal],
+) -> Tuple[List[int], bool]:
     """Fan ``pending`` job indices across a process pool.
 
-    Returns the indices left for the serial fallback (empty on success).
+    Returns ``(remaining, broken)``: the indices not yet collected, and
+    whether the pool *broke mid-run* (worker death — the caller may rebuild
+    and retry) as opposed to finishing or proving unable to start (the
+    caller falls back to the serial path; a ``fallback`` event was emitted).
     """
     total = len(jobs)
     job_failures: List[BaseException] = []
@@ -321,11 +465,15 @@ def _run_sharded(
                 kind=ev.JOB_START, job_id=job.job_id, index=index + 1,
                 total=total, shards=shards,
             ))
-            futures[pool.submit(_worker, (job, store_root))] = index
+            futures[pool.submit(
+                _worker, (job, store_root, plan, pool_attempt)
+            )] = index
         not_done = set(futures)
         while not_done:
             if stop():
-                _drain_pool(jobs, futures, not_done, results, emit, shards)
+                _drain_pool(
+                    jobs, futures, not_done, results, emit, shards, journal
+                )
                 raise abort()
             # The timeout bounds how long a stop request can sit unnoticed:
             # without it the drain would only begin at the *next* job
@@ -336,7 +484,7 @@ def _run_sharded(
             for future in done:
                 index = futures[future]
                 try:
-                    payload, cached, seconds = future.result()
+                    payload, cached, seconds, key = future.result()
                 except BrokenExecutor:
                     raise
                 except Exception as exc:
@@ -351,13 +499,17 @@ def _run_sharded(
                     job_failures.append(exc)
                     raise
                 results[index] = payload
+                _journal_done(journal, jobs[index].job_id, payload, key)
+                _emit_degraded(
+                    emit, payload, jobs[index].job_id, index, total, shards
+                )
                 emit(ev.PipelineEvent(
                     kind=ev.JOB_DONE, job_id=jobs[index].job_id,
                     index=index + 1, total=total, shards=shards,
                     cached=cached, seconds=seconds,
                 ))
         pool.shutdown(wait=True)
-        return []
+        return [], False
     except KeyboardInterrupt:
         # Hard abort (e.g. a second Ctrl-C): never let the executor's exit
         # path run every still-queued job to completion — and terminate the
@@ -382,16 +534,21 @@ def _run_sharded(
             # pool breakage (e.g. an OSError from inside a stage): a serial
             # rerun would only repeat it, so propagate instead.
             raise
-        # The *pool* failed: it could not start (no fork/semaphores in the
-        # host) or its workers died mid-run (BrokenProcessPool).  Anything
-        # already collected is kept; the rest reruns serially.
         remaining = [index for index in pending if results[index] is None]
+        if isinstance(exc, BrokenExecutor):
+            # Workers died mid-run (crash, OOM kill, injected
+            # ``worker_start`` fault).  Anything already collected is kept;
+            # the caller decides whether to rebuild the pool or go serial.
+            return remaining, True
+        # The pool could not start at all (no fork/semaphores in the host):
+        # rebuilding would fail identically, so hand the rest to the serial
+        # path immediately.
         emit(ev.PipelineEvent(
             kind=ev.FALLBACK,
             message=f"process pool unavailable ({exc!r}); "
                     f"running {len(remaining)} job(s) serially",
         ))
-        return remaining
+        return remaining, False
     except BaseException:
         # Job failure or graceful abort: drop queued jobs, let the running
         # workers finish (they publish their own artifacts), propagate.

@@ -25,7 +25,7 @@ tables.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Protocol
 
 from repro.analysis.cycle_time import cycle_time
@@ -39,6 +39,10 @@ from repro.core.optimizer import (
 from repro.core.rrg import RRG
 from repro.core.throughput import configuration_throughput_bound
 from repro.pipeline.store import content_key
+from repro.resilience import faults as _faults
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.resilience.faults import InjectedFault
+from repro.resilience.retry import STAGE_RETRY, RetryPolicy, TransientError
 from repro.retiming.late_evaluation import late_evaluation_baseline
 from repro.sim.batch import simulate_configurations
 from repro.sim.cache import rrg_fingerprint
@@ -230,6 +234,12 @@ class BuildStage:
         }
 
 
+#: Fixed search budget of a degraded Optimize stage.  A constant — not the
+#: live deadline remainder — so the fallback's evaluation budget (and with
+#: it the degraded incumbent) is a pure function of the job declaration.
+DEGRADED_TIME_BUDGET = 5.0
+
+
 class OptimizeStage:
     name = "optimize"
 
@@ -245,9 +255,62 @@ class OptimizeStage:
                 f"expected one of {OPTIMIZERS}"
             )
         if params.optimizer != "milp":
-            self._run_search(ctx)
+            self._run_search(ctx, params)
             return
+        deadline = Deadline.current()
+        try:
+            # The ``solver_stall`` fault site models the exact MILP wedging
+            # past any useful deadline; the reaction is the same degradation
+            # path a genuine deadline overrun takes.
+            _faults.check("solver_stall", ctx.job.job_id)
+            self._run_milp(ctx, params, deadline)
+        except InjectedFault:
+            self._degrade(ctx, params, deadline, reason="solver-stall")
+        except DeadlineExceeded:
+            self._degrade(ctx, params, deadline, reason="milp-deadline")
+
+    def _degrade(
+        self,
+        ctx: JobContext,
+        params: OptimizeParams,
+        deadline: Optional[Deadline],
+        reason: str,
+    ) -> None:
+        """Fall back from the exact MILP to the heuristic portfolio.
+
+        The request still succeeds: the payload carries a ``degraded``
+        provenance block (and is never published to the store, so a later
+        unconstrained run recomputes the exact answer).
+        """
+        fallback = replace(
+            params,
+            optimizer="portfolio",
+            time_budget=params.time_budget or DEGRADED_TIME_BUDGET,
+        )
+        # Whatever the MILP partially produced is discarded wholesale: the
+        # search rewrites the optimize block, and a half-done exact walk must
+        # not masquerade as provenance.
+        ctx.payload.pop("optimize", None)
+        self._run_search(ctx, fallback, milp_member=False)
+        ctx.payload["degraded"] = {
+            "stage": self.name,
+            "requested": "milp",
+            "optimizer": "portfolio",
+            "reason": reason,
+            "deadline_remaining": (
+                None if deadline is None else round(deadline.remaining(), 3)
+            ),
+        }
+
+    def _run_milp(
+        self,
+        ctx: JobContext,
+        params: OptimizeParams,
+        deadline: Optional[Deadline],
+    ) -> None:
         settings = params.settings()
+        if deadline is not None:
+            deadline.require("optimize stage")
         if params.baseline:
             baseline = late_evaluation_baseline(
                 ctx.rrg,
@@ -261,8 +324,21 @@ class OptimizeStage:
                 "min_delay_cycle_time": baseline.min_delay_cycle_time,
                 "used_recycling": baseline.used_recycling,
             }
+        guard = None
+        if deadline is not None:
+            def guard(count: int, point: ParetoPoint) -> None:
+                # Invoked after every stored Pareto point: the walk stops at
+                # the first point past the deadline and the stage degrades
+                # (the partial walk is discarded, so nothing half-done can
+                # reach the store).
+                del count, point
+                deadline.require("MILP Pareto walk")
         result = min_effective_cycle_time(
-            ctx.rrg, k=params.k, epsilon=params.epsilon, settings=settings
+            ctx.rrg,
+            k=params.k,
+            epsilon=params.epsilon,
+            settings=settings,
+            progress=guard,
         )
         ctx.optimization = result
         points = [_point_payload(point) for point in result.points]
@@ -285,7 +361,12 @@ class OptimizeStage:
             "total_nodes": result.total_nodes,
         }
 
-    def _run_search(self, ctx: JobContext) -> None:
+    def _run_search(
+        self,
+        ctx: JobContext,
+        params: OptimizeParams,
+        milp_member: Optional[bool] = None,
+    ) -> None:
         """The heuristic path: race strategies, emit the MILP payload shape.
 
         The payload mirrors the exact path (``points``/``best``/indices) so
@@ -294,11 +375,17 @@ class OptimizeStage:
         points carry the *measured* throughput in the ``throughput_bound``
         slot when no LP bound was computed (graphs beyond the LP filter
         size); ``search.bound_kind`` says which one it is.
+
+        ``milp_member`` overrides the portfolio's MILP-member gate; the
+        degraded path forces it off (the MILP just failed the job's budget).
         """
         from repro.search import search_minimize
         from repro.search.problem import LP_FILTER_MAX_NODES
 
-        params = self.params
+        if milp_member is None:
+            # Only the portfolio admits the exact MILP, and only below the
+            # search's own node limit (None = auto gate).
+            milp_member = None if params.optimizer == "portfolio" else False
         result = search_minimize(
             ctx.rrg,
             strategies=SEARCH_STRATEGIES[params.optimizer],
@@ -307,9 +394,7 @@ class OptimizeStage:
             cycles=params.search_cycles,
             epsilon=params.epsilon,
             settings=params.settings(),
-            # Only the portfolio admits the exact MILP, and only below the
-            # search's own node limit (None = auto gate).
-            include_milp=None if params.optimizer == "portfolio" else False,
+            include_milp=milp_member,
         )
         use_lp_bound = ctx.rrg.num_nodes <= LP_FILTER_MAX_NODES
 
@@ -387,6 +472,21 @@ class OptimizeStage:
                 ],
             },
         }
+        deadline = Deadline.current()
+        if deadline is not None and (
+            not result.completed or (result.milp or {}).get("truncated")
+        ):
+            # The request deadline cut the race (or its MILP member) short:
+            # the incumbent is valid but not the declaration-pure answer, so
+            # mark it degraded — the runner/broker then keep it out of the
+            # store and caches.
+            ctx.payload["degraded"] = {
+                "stage": self.name,
+                "requested": params.optimizer,
+                "optimizer": params.optimizer,
+                "reason": "search-deadline",
+                "deadline_remaining": round(deadline.remaining(), 3),
+            }
 
 
 class SimulateStage:
@@ -462,11 +562,31 @@ def stages_for(job: Job) -> List[Stage]:
     return stages
 
 
-def execute_job(job: Job, rrg: Optional[RRG] = None) -> Dict[str, Any]:
-    """Run a job's stages and return its payload (worker-side entry point)."""
+def execute_job(
+    job: Job,
+    rrg: Optional[RRG] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> Dict[str, Any]:
+    """Run a job's stages and return its payload (worker-side entry point).
+
+    Each stage runs under ``retry`` (default :data:`STAGE_RETRY`): injected
+    ``stage`` faults and :class:`TransientError` failures are retried with
+    jittered backoff; the stage re-runs from a clean slate (stages fully
+    overwrite their payload blocks, so a retried stage cannot leave partial
+    state behind).  Deterministic errors propagate immediately.
+    """
+    policy = retry if retry is not None else STAGE_RETRY
     ctx = JobContext(job=job, rrg=rrg)
     for stage in stages_for(job):
-        stage.run(ctx)
+        def run_stage(attempt: int, stage: Stage = stage) -> None:
+            _faults.check("stage", f"{job.job_id}:{stage.name}", attempt)
+            stage.run(ctx)
+
+        policy.call(
+            run_stage,
+            retry_on=(InjectedFault, TransientError),
+            salt=f"stage:{job.job_id}:{stage.name}",
+        )
     ctx.payload["job_id"] = job.job_id
     return ctx.payload
 

@@ -25,6 +25,10 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
+from repro.resilience.faults import InjectedFault
+from repro.resilience import faults as _faults
+from repro.resilience.retry import STORE_RETRY, RetryPolicy
+
 #: Bump when the payload layout changes; old entries become misses.
 SCHEMA_VERSION = 1
 
@@ -55,13 +59,25 @@ class ArtifactStore:
     The store never trusts its contents: reads validate JSON structure and
     the embedded schema version, and any failure degrades to a cache miss
     (the offending file is removed so it cannot fail again).
+
+    I/O resilience: reads and writes run under ``retry`` (jittered backoff),
+    with the ``store_read``/``store_write`` fault-injection sites inside the
+    retried section — an injected (or marked-transient) failure is retried
+    deterministically, and *exhausted* retries degrade rather than crash: a
+    read becomes a miss (the job recomputes), a write is dropped (the result
+    stays correct in memory, only unpublished — counted in ``dropped_writes``).
     """
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(
+        self, root: os.PathLike, retry: Optional[RetryPolicy] = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.retry = retry if retry is not None else STORE_RETRY
         self.hits = 0
         self.misses = 0
+        self.dropped_writes = 0
+        self.retried_io = 0
 
     # -- key layout ---------------------------------------------------------
 
@@ -70,10 +86,16 @@ class ArtifactStore:
 
     # -- generic artifacts --------------------------------------------------
 
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        del attempt, exc
+        self.retried_io += 1
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or None on miss/corruption."""
         path = self._path(key)
-        try:
+
+        def read(attempt: int) -> Dict[str, Any]:
+            _faults.check("store_read", key, attempt)
             with open(path, "r", encoding="utf-8") as handle:
                 wrapper = json.load(handle)
             if (
@@ -82,10 +104,24 @@ class ArtifactStore:
                 or "payload" not in wrapper
             ):
                 raise ValueError("artifact schema mismatch")
+            return wrapper
+
+        try:
+            wrapper = self.retry.call(
+                read,
+                retry_on=(InjectedFault,),
+                salt=f"get:{key}",
+                on_retry=self._count_retry,
+            )
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError) as exc:
+        except InjectedFault:
+            # Retries exhausted: a persistent-tier outage is a miss, never a
+            # crash — the caller recomputes.
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
             # Corrupted, truncated or stale-schema entry: recover by
             # recomputing, never by crashing.
             self.misses += 1
@@ -93,31 +129,49 @@ class ArtifactStore:
                 os.unlink(path)
             except OSError:
                 pass
-            del exc
             return None
         self.hits += 1
         return wrapper["payload"]
 
-    def put(self, key: str, payload: Mapping[str, Any]) -> Path:
-        """Atomically publish ``payload`` under ``key``; returns the path."""
+    def put(self, key: str, payload: Mapping[str, Any]) -> Optional[Path]:
+        """Atomically publish ``payload`` under ``key``.
+
+        Returns the published path, or None when a (injected/transient)
+        write failure survived every retry — the payload is then simply not
+        persisted; callers already hold it in memory and stay correct.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         wrapper = {"schema": SCHEMA_VERSION, "key": key, "payload": payload}
         text = json.dumps(wrapper, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
+
+        def write(attempt: int) -> Path:
+            _faults.check("store_write", key, attempt)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return path
+
+        try:
+            return self.retry.call(
+                write,
+                retry_on=(InjectedFault,),
+                salt=f"put:{key}",
+                on_retry=self._count_retry,
+            )
+        except InjectedFault:
+            self.dropped_writes += 1
+            return None
 
     # -- throughput layer ---------------------------------------------------
     #
@@ -161,7 +215,13 @@ class ArtifactStore:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+            "dropped_writes": self.dropped_writes,
+            "retried_io": self.retried_io,
+        }
 
 
 def attach_persistent_throughputs(store: Optional[ArtifactStore]) -> None:

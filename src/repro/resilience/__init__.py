@@ -1,0 +1,51 @@
+"""Cross-cutting fault tolerance for the pipeline, search and service layers.
+
+Four pillars, each usable on its own and wired through the rest of the
+repository:
+
+* :mod:`repro.resilience.faults` — **deterministic fault injection**: a
+  seeded :class:`FaultPlan` decides, as a pure function of
+  ``(seed, site, label, attempt)``, whether a named site (store read/write,
+  stage execution, worker startup, solver stall, connection) fails.  Chaos
+  runs are reproducible from a seed and expressible from the CLI
+  (``--inject store_write:0.1,stage:0.05``).
+* :mod:`repro.resilience.deadline` — **deadline propagation**: a
+  request-scoped :class:`Deadline` carried from the service API through the
+  broker, worker bridge and stages into the MILP/portfolio budgets.
+* :mod:`repro.resilience.retry` — one **retry policy** (jittered exponential
+  backoff) shared by the sync/async clients, store I/O and transient stage
+  failures.
+* :mod:`repro.resilience.journal` — **crash-safe sweeps**: atomic per-job
+  completion records next to the artifact store, so a killed worker's shard
+  is retried on a fresh process and ``python -m repro run --resume <run-id>``
+  skips journaled-complete jobs bit-identically.
+"""
+
+from repro.resilience.deadline import Deadline, DeadlineExceeded, optional_scope
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    check,
+    injected,
+)
+from repro.resilience.journal import RunJournal, active_journal, journaling
+from repro.resilience.retry import RetryPolicy, TransientError
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "FAULT_SITES",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "RunJournal",
+    "TransientError",
+    "active_journal",
+    "active_plan",
+    "check",
+    "injected",
+    "journaling",
+    "optional_scope",
+]

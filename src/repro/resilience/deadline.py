@@ -1,0 +1,107 @@
+"""Request-scoped deadlines, propagated through layers without plumbing.
+
+A :class:`Deadline` is an absolute expiry on the monotonic clock plus the
+budget it was created with.  The service's worker bridge opens a
+:meth:`Deadline.scope` around a run, and every layer below — stages, the
+MILP walk, the search portfolio — reads :meth:`Deadline.current` to bound
+its own work, so a deadline set at the API edge reaches the innermost solver
+loop without threading a parameter through every signature.
+
+Scopes are :mod:`contextvars`-based: each executor thread (and each asyncio
+task) sees only the deadline it opened, so concurrent requests cannot leak
+budgets into each other.  ``Deadline.current()`` returns None outside any
+scope — callers treat that as "unbounded" and keep their historical
+behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Iterator, Optional
+
+
+class DeadlineExceeded(TimeoutError):
+    """An operation ran past its request deadline."""
+
+
+_CURRENT: contextvars.ContextVar[Optional["Deadline"]] = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Attributes:
+        expires_at: ``time.monotonic()`` value after which the deadline has
+            passed.
+        budget: The total budget in seconds the deadline was created with
+            (provenance; ``remaining()`` is the live value).
+    """
+
+    __slots__ = ("expires_at", "budget")
+
+    def __init__(self, expires_at: float, budget: float) -> None:
+        self.expires_at = float(expires_at)
+        self.budget = float(budget)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        seconds = float(seconds)
+        if seconds <= 0:
+            raise ValueError("deadline must be a positive number of seconds")
+        return cls(time.monotonic() + seconds, seconds)
+
+    @staticmethod
+    def current() -> Optional["Deadline"]:
+        """The deadline of the innermost open scope (None when unbounded)."""
+        return _CURRENT.get()
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at zero."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def require(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` when the deadline has passed."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its deadline ({self.budget:g}s budget)"
+            )
+
+    def share(self, fraction: float) -> float:
+        """``fraction`` of the remaining budget, in seconds."""
+        return self.remaining() * float(fraction)
+
+    @contextlib.contextmanager
+    def scope(self) -> Iterator["Deadline"]:
+        """Make this deadline :meth:`current` for the enclosed block."""
+        token = _CURRENT.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT.reset(token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s, budget={self.budget:g}s)"
+
+
+@contextlib.contextmanager
+def optional_scope(seconds: Optional[float]) -> Iterator[Optional[Deadline]]:
+    """Open ``Deadline.after(seconds).scope()`` when ``seconds`` is set.
+
+    The convenience form for call sites whose deadline is an optional request
+    field: ``with optional_scope(prepared.deadline): ...`` behaves like a
+    plain pass-through when no deadline was requested.
+    """
+    if seconds is None:
+        yield None
+        return
+    deadline = Deadline.after(seconds)
+    with deadline.scope():
+        yield deadline

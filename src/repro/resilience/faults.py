@@ -1,0 +1,218 @@
+"""Deterministic, seeded fault injection at named sites.
+
+A :class:`FaultPlan` carries a root seed and a per-site failure rate.  The
+decision for one potential fault is a **pure function** of
+``(seed, site, label, attempt)`` through the repository-wide hash-derivation
+scheme (:func:`repro.seeding.derive_seed`): the same plan injects the same
+fault schedule on every run, in every process, regardless of thread timing
+or call order.  A retried operation passes an incremented ``attempt``, so
+its recovery draw is independent of the original failure — bounded retries
+recover deterministically.
+
+Sites are coarse, architectural failure points rather than line-level hooks:
+
+=================  ==========================================================
+``store_read``     Reading an artifact/throughput entry from the store.
+``store_write``    Publishing an artifact (atomic replace included).
+``stage``          Executing one pipeline stage of one job.
+``worker_start``   A pool worker picking up a job (the injected failure is a
+                   *process exit*, simulating a crashed/OOM-killed shard).
+``solver_stall``   The exact MILP wedging past its deadline share (the
+                   optimize stage reacts by degrading to the heuristic
+                   portfolio).
+``connection``     A client-side transport exchange with the service.
+=================  ==========================================================
+
+Plans install process-globally (workers re-install the plan shipped to them
+by the runner) via the :func:`injected` context manager; instrumented code
+calls :func:`check` which is a no-op when no plan is active.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.seeding import derive_seed
+
+#: The named injection sites a plan may target.
+FAULT_SITES = (
+    "store_read",
+    "store_write",
+    "stage",
+    "worker_start",
+    "solver_stall",
+    "connection",
+)
+
+#: Denominator of the hash-to-unit-interval draw (matches derive_seed range).
+_DRAW_SPACE = float(2**31 - 1)
+
+
+class InjectedFault(RuntimeError):
+    """A fault produced by an active :class:`FaultPlan` (transient)."""
+
+    def __init__(self, site: str, label: str, attempt: int) -> None:
+        super().__init__(
+            f"injected fault at {site}[{label}] (attempt {attempt})"
+        )
+        self.site = site
+        self.label = label
+        self.attempt = attempt
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of injected failures at named sites.
+
+    ``rates`` maps a site name to a failure probability in ``[0, 1]``.  The
+    plan is picklable (plain ints/floats/strings), so the sharded runner can
+    ship it to pool workers; the injected schedule is identical in every
+    process because decisions never consult process state.
+    """
+
+    seed: int = 0
+    rates: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates.items():
+            if site not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; expected one of {FAULT_SITES}"
+                )
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(
+                    f"fault rate for {site!r} must be in [0, 1], got {rate!r}"
+                )
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the CLI form ``"site:rate,site:rate"`` (e.g. ``stage:0.05``)."""
+        rates: Dict[str, float] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            site, sep, rate_text = item.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"fault spec item {item!r} must look like site:rate"
+                )
+            try:
+                rates[site.strip()] = float(rate_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"fault rate in {item!r} is not a number"
+                ) from exc
+        return cls(seed=int(seed), rates=rates)
+
+    def to_spec(self) -> str:
+        """The canonical CLI spec string (inverse of :meth:`from_spec`)."""
+        return ",".join(
+            f"{site}:{self.rates[site]:g}" for site in sorted(self.rates)
+        )
+
+    def rate(self, site: str) -> float:
+        return float(self.rates.get(site, 0.0))
+
+    def should_fail(self, site: str, label: str, attempt: int = 0) -> bool:
+        """The deterministic injection decision for one potential fault."""
+        rate = self.rate(site)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        draw = derive_seed(self.seed, "fault", site, str(label), int(attempt))
+        return draw / _DRAW_SPACE < rate
+
+    def check(self, site: str, label: str, attempt: int = 0) -> None:
+        """Raise :class:`InjectedFault` when the plan schedules one here."""
+        if self.should_fail(site, label, attempt):
+            _count_injection(site)
+            raise InjectedFault(site, str(label), int(attempt))
+
+    def schedule(
+        self, site: str, labels, attempts: int = 1
+    ) -> Tuple[Tuple[str, int], ...]:
+        """The ``(label, attempt)`` pairs the plan fails for — test/debug aid."""
+        return tuple(
+            (str(label), attempt)
+            for label in labels
+            for attempt in range(int(attempts))
+            if self.should_fail(site, label, attempt)
+        )
+
+
+# -- process-global installation ---------------------------------------------
+#
+# One plan at a time, shared by every thread: the store, stages and clients
+# are driven from executor threads and pool workers, and a chaos run means
+# "this process is faulty", not "this thread is faulty".
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional[FaultPlan] = None
+_INJECTED: Dict[str, int] = {}
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` process-globally (None uninstalls)."""
+    global _ACTIVE
+    with _LOCK:
+        _ACTIVE = plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def injected(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scope ``plan`` as the process-global fault plan."""
+    with _LOCK:
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        with _LOCK:
+            _ACTIVE = previous
+
+
+def check(site: str, label: str, attempt: int = 0) -> None:
+    """Injection hook: no-op without an active plan."""
+    plan = _ACTIVE
+    if plan is not None:
+        plan.check(site, label, attempt)
+
+
+def should_crash_worker(label: str, attempt: int = 0) -> bool:
+    """Whether the active plan schedules a worker-process crash here.
+
+    Separate from :func:`check` because the reaction is not an exception —
+    the pool worker calls ``os._exit`` to simulate a killed process — and the
+    call site must be able to count the injection before dying.
+    """
+    plan = _ACTIVE
+    if plan is None or not plan.should_fail("worker_start", label, attempt):
+        return False
+    _count_injection("worker_start")
+    return True
+
+
+def _count_injection(site: str) -> None:
+    with _LOCK:
+        _INJECTED[site] = _INJECTED.get(site, 0) + 1
+
+
+def injection_counts() -> Dict[str, int]:
+    """Per-site injected-fault counts of this process (observability)."""
+    with _LOCK:
+        return dict(_INJECTED)
+
+
+def reset_injection_counts() -> None:
+    with _LOCK:
+        _INJECTED.clear()

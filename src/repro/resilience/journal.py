@@ -1,0 +1,204 @@
+"""Crash-safe sweep journal: atomic per-job completion records.
+
+The :class:`~repro.pipeline.store.ArtifactStore` already makes re-runs
+cheap (identical jobs become disk hits), but a resume still has to rebuild
+every graph to recompute store keys.  A :class:`RunJournal` sits next to the
+store (``<store>/journal/<run-id>/``) and records, atomically and in the
+parent process, each completed job's id and store key, plus a manifest of
+the run's target and options.  That gives:
+
+* **crash-safe resume** — ``python -m repro run --resume <run-id>`` reloads
+  the manifest, skips journaled-complete jobs without even building their
+  graphs, and serves their payloads from the store bit-identically;
+* **crash accounting** — a killed worker leaves its job unjournaled, so the
+  retried run recomputes exactly the missing work.
+
+Records are one file per job (``<sha256(job_id)>.json``, published with the
+same tempfile + ``os.replace`` pattern the store uses), so concurrent
+completions never contend and a crash mid-write can only lose the record
+being written — never corrupt an existing one.  Corrupt or stale records
+degrade to "not complete" (the job recomputes; the store usually answers).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+#: Journal record/manifest layout version; bump on incompatible change.
+JOURNAL_VERSION = 1
+
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class JournalError(ValueError):
+    """A malformed run id or unreadable manifest."""
+
+
+def validate_run_id(run_id: str) -> str:
+    """Run ids become directory names; keep them filesystem-safe."""
+    if not isinstance(run_id, str) or not _RUN_ID_RE.match(run_id):
+        raise JournalError(
+            f"invalid run id {run_id!r}: use 1-64 letters, digits, '.', '_' "
+            "or '-' (must start with a letter or digit)"
+        )
+    return run_id
+
+
+def _atomic_write(path: Path, document: Mapping[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(document, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or document.get("version") != JOURNAL_VERSION:
+        return None
+    return document
+
+
+class RunJournal:
+    """Completion records and the manifest of one named sweep run."""
+
+    def __init__(self, root: os.PathLike, run_id: str) -> None:
+        self.run_id = validate_run_id(run_id)
+        self.root = Path(root) / "journal" / self.run_id
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_store(cls, store_root: os.PathLike, run_id: str) -> "RunJournal":
+        """The journal living next to the artifact store at ``store_root``."""
+        return cls(store_root, run_id)
+
+    # -- manifest ------------------------------------------------------------
+
+    def write_manifest(self, target: str, options: Mapping[str, Any]) -> None:
+        """Record what this run executes, so ``--resume`` can re-declare it.
+
+        Idempotent for identical content; a *different* manifest under the
+        same run id is an error — silently mixing two option sets in one
+        journal would make "resume" skip jobs of the wrong run.
+        """
+        document = {
+            "version": JOURNAL_VERSION,
+            "run_id": self.run_id,
+            "target": str(target),
+            "options": dict(options),
+        }
+        existing = self.manifest()
+        if existing is not None:
+            if (
+                existing.get("target") != document["target"]
+                or existing.get("options") != document["options"]
+            ):
+                raise JournalError(
+                    f"run id {self.run_id!r} already journals a different "
+                    "run (target/options mismatch); pick a new --run-id"
+                )
+            return
+        _atomic_write(self.root / "manifest.json", document)
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        return _read_json(self.root / "manifest.json")
+
+    # -- completion records --------------------------------------------------
+
+    def _record_path(self, job_id: str) -> Path:
+        # Job ids are arbitrary labels; hash them into safe, fixed-length
+        # file names (no pipeline.store import — the store depends on this
+        # package, not the other way around).
+        digest = hashlib.sha256(str(job_id).encode("utf-8")).hexdigest()
+        return self.root / f"{digest}.json"
+
+    def record_done(self, job_id: str, store_key: str) -> None:
+        """Atomically journal one completed (and published) job."""
+        with self._lock:
+            _atomic_write(self._record_path(job_id), {
+                "version": JOURNAL_VERSION,
+                "job_id": str(job_id),
+                "key": str(store_key),
+                "status": "done",
+            })
+
+    def completed_key(self, job_id: str) -> Optional[str]:
+        """The store key of a journaled-complete job (None when absent)."""
+        document = _read_json(self._record_path(job_id))
+        if document is None or document.get("status") != "done":
+            return None
+        key = document.get("key")
+        return str(key) if isinstance(key, str) and key else None
+
+    def completed(self) -> Dict[str, str]:
+        """All journaled completions as ``{job_id: store_key}``."""
+        out: Dict[str, str] = {}
+        for path in self.root.glob("*.json"):
+            if path.name == "manifest.json":
+                continue
+            document = _read_json(path)
+            if document is None or document.get("status") != "done":
+                continue
+            job_id, key = document.get("job_id"), document.get("key")
+            if isinstance(job_id, str) and isinstance(key, str) and key:
+                out[job_id] = key
+        return out
+
+    def clear(self) -> int:
+        """Drop every completion record (keeps the manifest)."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            if path.name == "manifest.json":
+                continue
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+                removed += 1
+        return removed
+
+
+# -- ambient journal ---------------------------------------------------------
+#
+# The CLI opens a journal around run_preset; run_jobs (possibly many layers
+# below, inside experiment helpers) picks it up without every intermediate
+# signature growing a parameter — the same pattern the fault plan uses.
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional[RunJournal] = None
+
+
+def active_journal() -> Optional[RunJournal]:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def journaling(journal: Optional[RunJournal]) -> Iterator[Optional[RunJournal]]:
+    """Scope ``journal`` as the ambient journal for nested ``run_jobs`` calls."""
+    global _ACTIVE
+    with _LOCK:
+        previous = _ACTIVE
+        _ACTIVE = journal
+    try:
+        yield journal
+    finally:
+        with _LOCK:
+            _ACTIVE = previous

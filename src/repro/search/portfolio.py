@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.milp import MilpSettings
 from repro.core.rrg import RRG
+from repro.resilience.deadline import Deadline
 from repro.search.problem import LP_FILTER_MAX_NODES, Evaluation, SearchProblem
 from repro.search.state import SearchState
 from repro.search.strategies import Strategy, make_strategy
@@ -314,7 +315,14 @@ def search_minimize(
         raise ValueError("time_budget must be positive")
     rrg.validate()
     started = time.perf_counter()
+    # Emergency wall-clock cutoff: 2x the nominal budget guards against
+    # pathological hosts, and an ambient request deadline (propagated from
+    # the service edge via Deadline.scope) tightens it further — whichever
+    # expires first stops the race, reported via ``completed``.
     hard_deadline = time.monotonic() + 2.0 * time_budget
+    ambient = Deadline.current()
+    if ambient is not None:
+        hard_deadline = min(hard_deadline, ambient.expires_at)
     problem = SearchProblem(
         rrg, cycles=cycles, warmup=warmup,
         seed=derive_seed(seed, "simulate"),
@@ -336,8 +344,14 @@ def search_minimize(
         else rrg.num_nodes <= int(milp_node_limit)
     )
     if run_milp:
+        time_share = 0.5 * time_budget
+        if ambient is not None:
+            # Keep the exact member inside the request deadline too (its
+            # walk is wall-clock bounded); a truncated walk is flagged in
+            # ``milp.truncated`` as usual.
+            time_share = min(time_share, max(0.05, ambient.share(0.5)))
         milp_state, milp_eval, milp_info = _run_milp_member(
-            rrg, problem, epsilon, settings, time_share=0.5 * time_budget
+            rrg, problem, epsilon, settings, time_share=time_share
         )
         # A fixed share, *not* the measured MILP wall time: the heuristic
         # evaluation budget must stay a pure function of the inputs, or two

@@ -115,6 +115,9 @@ class Broker:
         # check and their enqueue (the tier-2 probe awaits in between): a
         # concurrent burst must not slip past queue_limit through that gap.
         self._admitting = 0
+        # EMA of per-request compute seconds — the drain-rate estimate behind
+        # the 429 retry_after hint (None until the first group completes).
+        self._ema_request_seconds: Optional[float] = None
         self._started = time.monotonic()
         self._worker_task: Optional[asyncio.Task] = None
         # Validation must not wait behind a long-running batch, or identical
@@ -266,7 +269,8 @@ class Broker:
             except ValueError:
                 pass
             raise protocol.QueueFullError(
-                f"queue full ({self.queue_limit} pending); retry later"
+                f"queue full ({self.queue_limit} pending); retry in "
+                f"~{self.retry_after_hint():g}s"
             )
 
         # Register as the in-flight primary *before* awaiting the store
@@ -404,12 +408,41 @@ class Broker:
                 self._inflight.pop(record.key, None)
                 self._fail(record, message)
             return
+        # Fold this group into the drain-rate estimate (per request, so a
+        # 12-lane batch counts as 12 cheap requests, not one long one).
+        elapsed = max(1e-3, time.monotonic() - now) / max(1, group.lanes)
+        if self._ema_request_seconds is None:
+            self._ema_request_seconds = elapsed
+        else:
+            self._ema_request_seconds = (
+                0.7 * self._ema_request_seconds + 0.3 * elapsed
+            )
         for record, result in zip(records, results):
             self._inflight.pop(record.key, None)
-            self._l1.put(record.key, result)
+            if "degraded" not in result:
+                # A degraded result answers *this* deadline-pressed request
+                # only; caching it would serve a non-canonical answer to
+                # later unconstrained requests for the same key.
+                self._l1.put(record.key, result)
             self._finish(record, result, cached=None)
 
     # -- accounting ---------------------------------------------------------
+
+    def retry_after_hint(self) -> float:
+        """Seconds a 429'd client should wait before retrying.
+
+        Derived from the live queue depth and the measured drain rate (EMA
+        of per-request compute seconds) instead of a hardcoded constant: an
+        idle-but-bursty service hints sub-second retries, a service deep in
+        MILP sweeps tells clients to stay away longer.  Clamped to [0.1, 30].
+        """
+        depth = self._queue.qsize() + self._admitting + (1 if self._busy else 0)
+        per_request = (
+            self._ema_request_seconds
+            if self._ema_request_seconds is not None
+            else 1.0  # no history yet: assume a ~1s request
+        )
+        return round(min(30.0, max(0.1, depth * per_request)), 2)
 
     def stats(self) -> Dict[str, Any]:
         """Hit/miss, queue and batching counters (the ``/stats`` body)."""
@@ -422,6 +455,7 @@ class Broker:
                 "limit": self.queue_limit,
                 "in_flight": len(self._inflight),
                 "busy": self._busy,
+                "retry_after_hint": self.retry_after_hint(),
             },
             "requests": dict(self.counters),
             "cache": {

@@ -12,17 +12,35 @@ speak the JSON protocol of :mod:`repro.service.server` and expose:
   pipeline events to ``on_event`` (incremental ``events_from`` cursors, so
   each event is delivered exactly once);
 * ``submit_and_wait(...)`` — the one-call convenience the CLI uses.
+
+Resilience: both clients run every exchange under the shared
+:data:`~repro.resilience.retry.CLIENT_RETRY` policy (connection drops —
+including injected ``connection`` faults — retry with jittered backoff;
+re-submitting after a dropped response is safe because identical requests
+coalesce server-side), ``wait`` polls on the policy's growing backoff
+schedule instead of a fixed busy interval, and ``submit_and_wait`` honors
+the server's ``retry_after`` hint when shed with a 429.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import time
 from http.client import HTTPConnection
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from repro.resilience import faults as _faults
+from repro.resilience.faults import InjectedFault
+from repro.resilience.retry import CLIENT_RETRY, RetryPolicy
+
 OnEvent = Callable[[Dict[str, Any]], None]
+
+#: Transport failures worth retrying.  Deliberately *not* OSError: since
+#: Python 3.10+ TimeoutError is an OSError, and retrying a full client
+#: timeout would multiply the worst-case wait by the attempt count.
+_TRANSIENT = (InjectedFault, ConnectionError)
 
 
 class ServiceError(RuntimeError):
@@ -34,19 +52,47 @@ class ServiceError(RuntimeError):
 
 
 class ServiceBusy(ServiceError):
-    """The service shed the request (429 queue full / 503 draining)."""
+    """The service shed the request (429 queue full / 503 draining).
+
+    ``retry_after`` carries the server's backoff hint in seconds (None when
+    the response had none) — derived server-side from queue depth and drain
+    rate, so honoring it beats any client-side guess.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(status, message)
+        self.retry_after = retry_after
 
 
 class RequestFailed(ServiceError):
     """The request executed and failed server-side."""
 
 
+def _run_body(
+    target: str,
+    options: Optional[Mapping[str, Any]],
+    deadline: Optional[float],
+) -> Dict[str, Any]:
+    body: Dict[str, Any] = {
+        "kind": "run", "target": target, "options": dict(options or {}),
+    }
+    if deadline is not None:
+        body["deadline"] = float(deadline)
+    return body
+
+
 def _raise_for(status: int, payload: Any) -> None:
     message = ""
+    retry_after: Optional[float] = None
     if isinstance(payload, Mapping):
         message = str(payload.get("error", ""))
+        hint = payload.get("retry_after")
+        if isinstance(hint, (int, float)) and hint > 0:
+            retry_after = float(hint)
     if status in (429, 503):
-        raise ServiceBusy(status, message or "service busy")
+        raise ServiceBusy(status, message or "service busy", retry_after)
     raise ServiceError(status, message or "request rejected")
 
 
@@ -58,14 +104,30 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8642,
         timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else CLIENT_RETRY
 
     # -- transport ----------------------------------------------------------
 
     def _request(self, method: str, path: str, body: Any = None) -> Any:
+        def exchange(attempt: int):
+            _faults.check("connection", f"{method} {path}", attempt)
+            return self._exchange_once(method, path, body)
+
+        status, data = self.retry.call(
+            exchange, retry_on=_TRANSIENT, salt=f"{method}:{path}"
+        )
+        if status == 202:
+            return data
+        if status >= 400:
+            _raise_for(status, data)
+        return data
+
+    def _exchange_once(self, method: str, path: str, body: Any):
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None if body is None else json.dumps(body)
@@ -77,11 +139,7 @@ class ServiceClient:
             status = response.status
         finally:
             connection.close()
-        if status == 202:
-            return data
-        if status >= 400:
-            _raise_for(status, data)
-        return data
+        return status, data
 
     # -- endpoints ----------------------------------------------------------
 
@@ -89,11 +147,14 @@ class ServiceClient:
         return self._request("POST", "/submit", body)
 
     def submit_run(
-        self, target: str, options: Optional[Mapping[str, Any]] = None
+        self,
+        target: str,
+        options: Optional[Mapping[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
-        return self.submit({
-            "kind": "run", "target": target, "options": dict(options or {}),
-        })
+        return self.submit(
+            _run_body(target, options, deadline)
+        )
 
     def submit_simulate(self, scenario: str, **spec: Any) -> Dict[str, Any]:
         return self.submit({"kind": "simulate", "scenario": scenario, **spec})
@@ -125,17 +186,27 @@ class ServiceClient:
         self,
         request_id: str,
         timeout: Optional[float] = None,
-        poll_interval: float = 0.05,
+        poll_interval: Optional[float] = None,
         on_event: Optional[OnEvent] = None,
     ) -> Dict[str, Any]:
         """Poll until the request finishes; returns the result document.
 
         ``on_event`` receives each newly observed pipeline-event dict once,
         in order — the polling consumer of the server's event stream.
+
+        Polling backs off on the retry policy's growing (jittered) schedule
+        — quick first checks, settling at the policy's ``max_delay`` — so a
+        fleet of waiting clients does not busy-hammer the status endpoint.
+        Pass ``poll_interval`` to force a fixed cadence instead.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         cursor = 0
-        while True:
+        delays = (
+            itertools.repeat(float(poll_interval))
+            if poll_interval is not None
+            else self.retry.poll_delays(salt=f"wait:{request_id}")
+        )
+        for delay in delays:
             status = self.status(request_id, events_from=cursor)
             events = status.get("events", [])
             if on_event is not None:
@@ -151,7 +222,11 @@ class ServiceClient:
                 raise TimeoutError(
                     f"request {request_id} still {state!r} after {timeout}s"
                 )
-            time.sleep(poll_interval)
+            if deadline is not None:
+                # Never sleep past the caller's timeout check.
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
+        raise RuntimeError("poll schedule ended")  # pragma: no cover
 
     def submit_and_wait(
         self,
@@ -159,7 +234,29 @@ class ServiceClient:
         timeout: Optional[float] = None,
         on_event: Optional[OnEvent] = None,
     ) -> Dict[str, Any]:
-        record = self.submit(body)
+        """Submit with 429 backoff, then wait for the result.
+
+        A shed submit (429) retries up to the policy's attempt count,
+        sleeping the server's ``retry_after`` hint when one came back (the
+        server knows its own backlog) and the policy's jittered backoff
+        otherwise.  503 (draining) is not retried — the service is going
+        away, not busy.
+        """
+        record = None
+        for attempt in range(self.retry.attempts):
+            try:
+                record = self.submit(body)
+                break
+            except ServiceBusy as exc:
+                if exc.status != 429 or attempt == self.retry.attempts - 1:
+                    raise
+                pause = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self.retry.delay(attempt, salt="submit-busy")
+                )
+                time.sleep(pause)
+        assert record is not None
         if record.get("status") == "done":
             return self.result(record["id"])
         return self.wait(record["id"], timeout=timeout, on_event=on_event)
@@ -183,17 +280,31 @@ class AsyncServiceClient:
         host: str = "127.0.0.1",
         port: int = 8642,
         timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else CLIENT_RETRY
 
     async def _request(self, method: str, path: str, body: Any = None) -> Any:
-        # One timeout over the whole exchange (connect, write, read): a
-        # server stalling after the status line must not hang the caller.
-        status, raw = await asyncio.wait_for(
-            self._exchange(method, path, body), timeout=self.timeout
-        )
+        status = raw = None
+        for attempt in range(self.retry.attempts):
+            try:
+                _faults.check("connection", f"{method} {path}", attempt)
+                # One timeout over the whole exchange (connect, write,
+                # read): a server stalling after the status line must not
+                # hang the caller.
+                status, raw = await asyncio.wait_for(
+                    self._exchange(method, path, body), timeout=self.timeout
+                )
+                break
+            except _TRANSIENT:
+                if attempt == self.retry.attempts - 1:
+                    raise
+                await asyncio.sleep(
+                    self.retry.delay(attempt, salt=f"{method}:{path}")
+                )
         data = json.loads(raw.decode("utf-8")) if raw else None
         if status == 202:
             return data
@@ -240,11 +351,14 @@ class AsyncServiceClient:
         return await self._request("POST", "/submit", body)
 
     async def submit_run(
-        self, target: str, options: Optional[Mapping[str, Any]] = None
+        self,
+        target: str,
+        options: Optional[Mapping[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
-        return await self.submit({
-            "kind": "run", "target": target, "options": dict(options or {}),
-        })
+        return await self.submit(
+            _run_body(target, options, deadline)
+        )
 
     async def submit_simulate(self, scenario: str, **spec: Any) -> Dict[str, Any]:
         return await self.submit(
@@ -269,12 +383,17 @@ class AsyncServiceClient:
         self,
         request_id: str,
         timeout: Optional[float] = None,
-        poll_interval: float = 0.05,
+        poll_interval: Optional[float] = None,
         on_event: Optional[OnEvent] = None,
     ) -> Dict[str, Any]:
         deadline = None if timeout is None else time.monotonic() + timeout
         cursor = 0
-        while True:
+        delays = (
+            itertools.repeat(float(poll_interval))
+            if poll_interval is not None
+            else self.retry.poll_delays(salt=f"wait:{request_id}")
+        )
+        for delay in delays:
             status = await self.status(request_id, events_from=cursor)
             events = status.get("events", [])
             if on_event is not None:
@@ -290,7 +409,10 @@ class AsyncServiceClient:
                 raise TimeoutError(
                     f"request {request_id} still {state!r} after {timeout}s"
                 )
-            await asyncio.sleep(poll_interval)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            await asyncio.sleep(delay)
+        raise RuntimeError("poll schedule ended")  # pragma: no cover
 
     async def submit_and_wait(
         self,
@@ -298,7 +420,21 @@ class AsyncServiceClient:
         timeout: Optional[float] = None,
         on_event: Optional[OnEvent] = None,
     ) -> Dict[str, Any]:
-        record = await self.submit(body)
+        record = None
+        for attempt in range(self.retry.attempts):
+            try:
+                record = await self.submit(body)
+                break
+            except ServiceBusy as exc:
+                if exc.status != 429 or attempt == self.retry.attempts - 1:
+                    raise
+                pause = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self.retry.delay(attempt, salt="submit-busy")
+                )
+                await asyncio.sleep(pause)
+        assert record is not None
         if record.get("status") == "done":
             return await self.result(record["id"])
         return await self.wait(record["id"], timeout=timeout, on_event=on_event)

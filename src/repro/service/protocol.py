@@ -104,6 +104,11 @@ class PreparedRequest:
         warmup: Resolved warmup cycles (simulate requests).
         seed: Lane seed (simulate requests).
         mode: ``"tgmg"`` or ``"elastic"`` (simulate requests).
+        deadline: Request budget in seconds (None = unbounded).  An
+            *execution* knob, deliberately excluded from the cache key and
+            canonical spec: two requests for the same computation are the
+            same request however long each is willing to wait, and the cache
+            only ever holds results that finished without deadline pressure.
     """
 
     kind: str
@@ -120,6 +125,7 @@ class PreparedRequest:
     warmup: int = 0
     seed: Optional[int] = None
     mode: str = "tgmg"
+    deadline: Optional[float] = None
 
 
 def _int_vector(raw: Any, what: str) -> Dict[int, int]:
@@ -266,21 +272,43 @@ def _prepare_simulate(body: Mapping[str, Any]) -> PreparedRequest:
     )
 
 
+def _parse_deadline(body: Mapping[str, Any]) -> Optional[float]:
+    raw = body.get("deadline")
+    if raw is None:
+        return None
+    try:
+        deadline = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise RequestError("'deadline' must be a number of seconds") from exc
+    if deadline <= 0:
+        raise RequestError("'deadline' must be positive")
+    return deadline
+
+
 def prepare_request(body: Any) -> PreparedRequest:
     """Validate a request body and derive its cache/batch keys.
 
     Raises :class:`RequestError` (HTTP 400) on anything malformed.  This may
     build the scenario graph (cached per canonical parameter set), so
     callers on an event loop should run it in an executor.
+
+    An optional ``deadline`` (seconds) rides along on the prepared request —
+    it scopes execution (see :mod:`repro.resilience.deadline`) but never
+    enters the cache key, so deadline-bearing requests still coalesce with
+    unbounded ones.
     """
     if not isinstance(body, Mapping):
         raise RequestError("request body must be a JSON object")
+    deadline = _parse_deadline(body)
     kind = body.get("kind", "run")
     if kind == "run":
-        return _prepare_run(body)
-    if kind == "simulate":
-        return _prepare_simulate(body)
-    raise RequestError(f"unknown request kind {kind!r}")
+        prepared = _prepare_run(body)
+    elif kind == "simulate":
+        prepared = _prepare_simulate(body)
+    else:
+        raise RequestError(f"unknown request kind {kind!r}")
+    prepared.deadline = deadline
+    return prepared
 
 
 def result_artifact_key(request_key: str) -> str:

@@ -251,7 +251,12 @@ class ServiceServer:
         except RequestError as exc:
             return 400, {"error": str(exc)}
         except QueueFullError as exc:
-            return 429, {"error": str(exc), "retry_after": 1}
+            # Derived from queue depth x measured drain rate, not hardcoded:
+            # clients back off proportionally to the actual backlog.
+            return 429, {
+                "error": str(exc),
+                "retry_after": self.broker.retry_after_hint(),
+            }
         except ShuttingDownError as exc:
             return 503, {"error": str(exc)}
         return 200, record.describe()

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.experiments.presets import RunOptions, run_preset
 from repro.pipeline.events import PipelineEvent
 from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
+from repro.resilience.deadline import optional_scope
 from repro.service.protocol import (
     PreparedRequest,
     cached_scenario_rrg,
@@ -103,8 +104,15 @@ def _execute_run(
     options: RunOptions = prepared.options.with_execution(
         shards=shards, store=None if store is None else str(store.root)
     )
-    result = run_preset(prepared.target, options, events=events)
-    if store is not None:
+    # The request deadline opens here, on the compute thread running the
+    # job, and reaches the MILP walk / search racer through the ambient
+    # Deadline.current() — no signature below needs a deadline parameter.
+    with optional_scope(prepared.deadline):
+        result = run_preset(prepared.target, options, events=events)
+    if store is not None and "degraded" not in result:
+        # Degraded results are answers to *this* deadline-pressed request,
+        # not to the declaration — never persist them as the request's
+        # canonical artifact.
         store.put(result_artifact_key(prepared.key), result)
     return [result]
 
