@@ -246,32 +246,56 @@ def _service_load_run(port, clients=4, per_client=8, seed_base=0,
     }
 
 
+#: Evaluation throughput of the PR 5 single-move search path on the
+#: reference container (evaluations / seconds of the committed
+#: BENCH_2026-07-28.json entries) — the baseline the batched kernel path is
+#: measured against.
+PR5_SEARCH_EVALS_PER_SECOND = {
+    "search_large_descent": 25 / 4.4024,
+    "search_large_anneal": 25 / 7.0853,
+    "search_large_portfolio": 25 / 3.6112,
+}
+
+
 def _search_large(optimizer, budget=6.0):
     """Heuristic search on a 400-node RRG (beyond branch-and-bound reach).
 
     Reported: incumbent quality (xi, and the improvement over the identity
-    configuration) for the given time budget.  Cold caches per run so every
-    repeat races from scratch.
+    configuration) for the given time budget, plus evaluation throughput
+    (``evals_per_second``) and the simulation kernel backend that executed
+    the run.  Cold caches per run so every repeat races from scratch.
     """
     from repro.pipeline.stages import SEARCH_STRATEGIES
 
     strategies = SEARCH_STRATEGIES[optimizer]
     clear_caches()
     rrg = large_random_rrg(400, seed=11)
+    started = time.perf_counter()
     result = search_minimize(
         rrg, strategies=strategies, time_budget=budget, seed=1,
         include_milp=False,
     )
+    elapsed = time.perf_counter() - started
     start_xi = result.points[0].effective_cycle_time
-    return {
+    evals_per_second = round(result.evaluations / elapsed, 1)
+    entry = {
         "xi": round(result.best.effective_cycle_time, 3),
         "improvement_pct": round(
             (1 - result.best.effective_cycle_time / start_xi) * 100, 2
         ),
         "evaluations": result.evaluations,
+        "evals_per_second": evals_per_second,
+        "kernel_backend": result.kernel_backend,
+        "pool_size": result.pool_size,
         "strategy": result.best.strategy,
         "time_budget": budget,
     }
+    baseline = PR5_SEARCH_EVALS_PER_SECOND.get(f"search_large_{optimizer}")
+    if baseline:
+        entry["evals_per_second_vs_pr5"] = round(
+            evals_per_second / baseline, 1
+        )
+    return entry
 
 
 def _search_vs_milp():

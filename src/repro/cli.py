@@ -81,6 +81,13 @@ def _scenario_params(items: Sequence[str]) -> Dict[str, Any]:
     return params
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def _events(args: argparse.Namespace, log: EventLog):
     printer = event_printer(fmt=getattr(args, "events", None) or "text")
 
@@ -105,6 +112,7 @@ def _run_options(args: argparse.Namespace) -> RunOptions:
         time_limit=args.time_limit,
         optimizer=getattr(args, "optimizer", None),
         time_budget=getattr(args, "time_budget", None),
+        pool_size=getattr(args, "pool_size", None),
         size=getattr(args, "size", None),
         params=_scenario_params(args.param or []),
     )
@@ -380,6 +388,10 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--time-budget", type=float, default=None,
                              help="search budget in seconds (heuristic "
                                   "optimizers; default 30)")
+        command.add_argument("--pool-size", type=_positive_int, default=None,
+                             help="candidate moves evaluated per batched "
+                                  "search step (heuristic optimizers; "
+                                  "default 24)")
         command.add_argument("--size", default=None,
                              choices=("tiny", "small", "medium", "large"),
                              help="large-scale preset instance size "

@@ -109,6 +109,7 @@ class RunOptions:
     time_limit: Optional[float] = 60.0
     optimizer: Optional[str] = None
     time_budget: Optional[float] = None
+    pool_size: Optional[int] = None
     size: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
@@ -116,7 +117,8 @@ class RunOptions:
     #: only these enter request/cache keys.
     COMPUTE_FIELDS = (
         "seed", "cycles", "epsilon", "scale", "names", "alphas",
-        "time_limit", "optimizer", "time_budget", "size", "params",
+        "time_limit", "optimizer", "time_budget", "pool_size", "size",
+        "params",
     )
 
     def settings(self) -> MilpSettings:
@@ -148,7 +150,7 @@ class RunOptions:
             )
         values: Dict[str, Any] = dict(data)
         try:
-            for name in ("seed", "cycles"):
+            for name in ("seed", "cycles", "pool_size"):
                 if values.get(name) is not None:
                     values[name] = int(values[name])
             for name in ("epsilon", "scale", "time_limit", "time_budget"):
@@ -173,6 +175,8 @@ class RunOptions:
                 f"unknown optimizer {values['optimizer']!r}; "
                 f"expected one of {OPTIMIZERS}"
             )
+        if values.get("pool_size") is not None and values["pool_size"] <= 0:
+            raise ScenarioError("pool_size must be a positive integer")
         if values.get("size") is not None and (
             values["size"] not in LARGE_SCALE_SIZES
         ):
@@ -356,6 +360,7 @@ def optimize_params_for(
         optimizer=optimizer,
         time_budget=options.time_budget or 30.0,
         search_seed=derive_seed(root_seed, "search", job_id),
+        search_pool=options.pool_size,
     )
 
 
@@ -494,11 +499,11 @@ def run_preset(
                   "ablations"):
         if options.optimizer not in (None, "milp") or (
             options.time_budget is not None
-        ):
+        ) or options.pool_size is not None:
             raise ScenarioError(
                 f"preset {target!r} always runs the exact MILP; "
-                "--optimizer/--time-budget apply to scenario runs and the "
-                "large-scale preset"
+                "--optimizer/--time-budget/--pool-size apply to scenario "
+                "runs and the large-scale preset"
             )
     if options.size is not None and target != "large-scale":
         raise ScenarioError(

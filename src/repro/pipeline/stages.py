@@ -49,7 +49,7 @@ from repro.sim.cache import rrg_fingerprint
 from repro.workloads.registry import build_scenario
 
 #: Version of the job payload layout; part of every store key.
-PAYLOAD_VERSION = 1
+PAYLOAD_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -107,9 +107,11 @@ class OptimizeParams:
     default — MIN_EFF_CYC with optional late-evaluation baseline) and the
     heuristic search subsystem (``"descent"``/``"anneal"``/``"portfolio"``,
     for graphs beyond branch-and-bound reach).  The search knobs
-    (``time_budget``, ``search_seed``, ``search_cycles``) are ignored by the
-    MILP path; MILP settings are shared by both (the portfolio's MILP member
-    uses them on small instances).
+    (``time_budget``, ``search_seed``, ``search_cycles``, ``search_pool``)
+    are ignored by the MILP path; MILP settings are shared by both (the
+    portfolio's MILP member uses them on small instances).  ``search_pool``
+    is the moves-per-batch pool size of the search strategies (None = the
+    search default) — declarative, so it is part of the job identity.
     """
 
     k: int = 3
@@ -125,6 +127,7 @@ class OptimizeParams:
     time_budget: Optional[float] = None
     search_seed: int = 0
     search_cycles: int = 256
+    search_pool: Optional[int] = None
 
     @classmethod
     def from_settings(
@@ -395,6 +398,7 @@ class OptimizeStage:
             epsilon=params.epsilon,
             settings=params.settings(),
             include_milp=milp_member,
+            pool_size=params.search_pool,
         )
         use_lp_bound = ctx.rrg.num_nodes <= LP_FILTER_MAX_NODES
 
@@ -448,10 +452,12 @@ class OptimizeStage:
                 "time_budget": result.time_budget,
                 "completed": result.completed,
                 "seed": result.seed,
-                # Wall-clock fields stay out: a stored payload must be a
-                # pure function of the job declaration (the sim-cache-warmth
-                # dependent `simulations` counter stays out for the same
-                # reason — SearchResult still carries both for live callers).
+                "pool_size": result.pool_size,
+                # Wall-clock and host-dependent fields stay out: a stored
+                # payload must be a pure function of the job declaration
+                # (the sim-cache-warmth dependent `simulations` counter and
+                # the host's `kernel_backend` stay out for the same reason —
+                # SearchResult still carries them for live callers).
                 "milp": None if result.milp is None else {
                     key: value for key, value in result.milp.items()
                     if key != "seconds"

@@ -25,10 +25,12 @@ Entry point: :func:`repro.search.search_minimize`.
 """
 
 from repro.search.portfolio import (
+    DEFAULT_POOL_SIZE,
     Incumbent,
     PortfolioRacer,
     SearchResult,
     StrategyReport,
+    evaluation_budget,
     search_minimize,
 )
 from repro.search.problem import Evaluation, SearchProblem
@@ -36,6 +38,7 @@ from repro.search.state import Move, SearchState
 from repro.search.strategies import GreedyDescent, SimulatedAnnealing, Strategy
 
 __all__ = [
+    "DEFAULT_POOL_SIZE",
     "Evaluation",
     "GreedyDescent",
     "Incumbent",
@@ -47,5 +50,6 @@ __all__ = [
     "SimulatedAnnealing",
     "Strategy",
     "StrategyReport",
+    "evaluation_budget",
     "search_minimize",
 ]

@@ -12,11 +12,14 @@ runs reproducible:
 * **budget** — the wall-clock budget is converted once, up front, into a
   deterministic *evaluation budget* through a fixed cost model
   (:func:`evaluation_budget`).  The race stops after that many evaluation
-  attempts — a pure function of (graph size, cycles, budget) — so two runs
-  with the same seed return identical incumbents even when their wall-clock
-  timings differ.  The model is calibrated conservatively for the reference
-  container; a hard wall-clock deadline at twice the nominal budget guards
-  against pathological hosts (and is reported via ``SearchResult.completed``).
+  attempts — a pure function of (graph size, cycles, budget, pool size) —
+  so two runs with the same seed return identical incumbents even when
+  their wall-clock timings differ.  The model is calibrated conservatively
+  for the compiled simulation kernels (:mod:`repro.sim.kernels`) and never
+  consults the active backend; a hard wall-clock deadline (2x the nominal
+  budget on a native backend, proportionally longer on the pure-python
+  fallback so it can finish the same schedule) guards against pathological
+  hosts and is reported via ``SearchResult.completed``.
 
 On small instances the racer additionally runs the exact MILP
 (:func:`repro.core.optimizer.min_effective_cycle_time`) as a portfolio
@@ -42,12 +45,29 @@ from repro.search.problem import LP_FILTER_MAX_NODES, Evaluation, SearchProblem
 from repro.search.state import SearchState
 from repro.search.strategies import Strategy, make_strategy
 from repro.seeding import derive_seed
+from repro.sim import kernels as _kernels
 
-#: Conservative throughput of the scalar engine, in edge-cycle operations
-#: per second; deliberately ~2-3x below the reference container's measured
-#: 5-7M ops/s so the deterministic evaluation budget translates into *at
-#: most* the nominal wall-clock budget on hosts up to ~2x slower.
+#: Conservative throughput of the batched evaluation path, in edge-cycle
+#: operations per second.  Calibrated against the compiled kernel backends
+#: (numba / generated C run the reference container at ~100M ops/s;
+#: deliberately ~5x below that so the deterministic budget translates into
+#: *at most* the nominal wall-clock budget on slower hosts).  The model is a
+#: pure function of the job — it must NOT consult the active backend, or two
+#: hosts would race for different lengths and break same-seed reproduction;
+#: a host stuck on the pure-python fallback instead gets a longer emergency
+#: wall-clock leash (see :func:`search_minimize`).
+KERNEL_OPS_PER_SECOND = 2.0e7
+
+#: Legacy alias (pre-kernel scalar-engine calibration), kept because the
+#: constant is part of the documented cost-model history.
 OPS_PER_SECOND = 2.0e6
+
+#: Modelled fixed cost of dispatching one evaluation batch (template
+#: resolution, cache probes, array packing), amortised across its lanes.
+BATCH_DISPATCH_SECONDS = 2.0e-3
+
+#: Default move-pool size per strategy step (lanes per evaluation batch).
+DEFAULT_POOL_SIZE = 24
 
 #: Smallest evaluation budget the racer will run with (so a tiny budget on a
 #: huge graph still improves on the identity configuration).
@@ -59,17 +79,33 @@ MIN_EVALUATIONS = 24
 MILP_NODE_LIMIT = 80
 
 
-def evaluation_cost(num_nodes: int, num_edges: int, total_cycles: int) -> float:
-    """Modelled seconds per evaluation (deterministic, machine-independent)."""
+def evaluation_cost(
+    num_nodes: int, num_edges: int, total_cycles: int, pool_size: int = 1
+) -> float:
+    """Modelled seconds per evaluation (deterministic, machine-independent).
+
+    ``pool_size`` is the number of lanes evaluated per batch: the fixed
+    dispatch overhead amortises across the pool, so wider pools model (and
+    get) cheaper per-evaluation cost.  Pool size is a declarative job
+    parameter, which keeps the budget a pure function of the inputs.
+    """
     ops = float(total_cycles) * (num_nodes + 3 * num_edges)
-    return max(ops / OPS_PER_SECOND, 1e-6)
+    seconds = ops / KERNEL_OPS_PER_SECOND
+    seconds += BATCH_DISPATCH_SECONDS / max(1, int(pool_size))
+    return max(seconds, 1e-6)
 
 
 def evaluation_budget(
-    rrg: RRG, cycles: int, warmup: int, time_budget: float
+    rrg: RRG,
+    cycles: int,
+    warmup: int,
+    time_budget: float,
+    pool_size: int = 1,
 ) -> int:
     """Deterministic evaluation-attempt budget for a wall-clock budget."""
-    cost = evaluation_cost(rrg.num_nodes, rrg.num_edges, cycles + warmup)
+    cost = evaluation_cost(
+        rrg.num_nodes, rrg.num_edges, cycles + warmup, pool_size=pool_size
+    )
     return max(MIN_EVALUATIONS, int(time_budget / cost))
 
 
@@ -122,6 +158,12 @@ class SearchResult:
     seconds: float
     completed: bool
     points: List[Incumbent] = field(default_factory=list)
+    #: Lanes per evaluation batch (declarative; part of the cost model).
+    pool_size: int = 1
+    #: Simulation kernel backend that executed this run (live provenance
+    #: only — results are backend-independent, so stored payloads must not
+    #: include it).
+    kernel_backend: str = "python"
 
 
 class PortfolioRacer:
@@ -286,6 +328,7 @@ def search_minimize(
     mode: str = "tgmg",
     lp_filter_max_nodes: int = LP_FILTER_MAX_NODES,
     max_points: int = 5,
+    pool_size: Optional[int] = None,
 ) -> SearchResult:
     """Minimise the measured effective cycle time of an RRG heuristically.
 
@@ -305,6 +348,10 @@ def search_minimize(
         mode: Simulation mode.
         lp_filter_max_nodes: See :class:`~repro.search.problem.SearchProblem`.
         max_points: Incumbent-history configurations kept in ``points``.
+        pool_size: Moves proposed (and evaluated as one batch) per strategy
+            step; defaults to :data:`DEFAULT_POOL_SIZE`.  Part of the
+            deterministic cost model — changing it changes the trajectory,
+            running it on a different backend does not.
 
     Returns:
         A :class:`SearchResult`; ``result.best`` is the incumbent with
@@ -314,12 +361,21 @@ def search_minimize(
     if time_budget <= 0:
         raise ValueError("time_budget must be positive")
     rrg.validate()
+    pool = DEFAULT_POOL_SIZE if pool_size is None else int(pool_size)
+    if pool <= 0:
+        raise ValueError("pool_size must be positive")
     started = time.perf_counter()
-    # Emergency wall-clock cutoff: 2x the nominal budget guards against
-    # pathological hosts, and an ambient request deadline (propagated from
-    # the service edge via Deadline.scope) tightens it further — whichever
-    # expires first stops the race, reported via ``completed``.
-    hard_deadline = time.monotonic() + 2.0 * time_budget
+    # Emergency wall-clock cutoff: a multiple of the nominal budget guards
+    # against pathological hosts, and an ambient request deadline
+    # (propagated from the service edge via Deadline.scope) tightens it
+    # further — whichever expires first stops the race, reported via
+    # ``completed``.  The budget is calibrated for the compiled kernels; a
+    # host on the pure-python fallback runs the *same* deterministic
+    # schedule (the cost model never consults the backend), so it gets a
+    # proportionally longer leash to finish it — forcing
+    # ``REPRO_SIM_KERNEL=python`` trades wall-clock for identical results.
+    deadline_slack = 2.0 if _kernels.native_active() else 20.0
+    hard_deadline = time.monotonic() + deadline_slack * time_budget
     ambient = Deadline.current()
     if ambient is not None:
         hard_deadline = min(hard_deadline, ambient.expires_at)
@@ -366,12 +422,15 @@ def search_minimize(
             trace.append((milp_state.copy(), milp_eval, "milp"))
 
     budget = evaluation_budget(
-        rrg, problem.cycles, problem.warmup, heuristic_budget
+        rrg, problem.cycles, problem.warmup, heuristic_budget,
+        pool_size=pool,
     )
     members = [make_strategy(name) for name in strategies]
     for member in members:
+        member.sample_size = pool
         if member.name == "anneal":
-            # Size the annealing schedule to its fair share of the budget.
+            # Size the annealing schedule (in attempts) to its fair share
+            # of the budget.
             member.schedule_steps = max(
                 16, budget // max(1, len(members))
             )
@@ -431,4 +490,6 @@ def search_minimize(
         seconds=round(time.perf_counter() - started, 4),
         completed=racer.completed,
         points=points,
+        pool_size=pool,
+        kernel_backend=_kernels.kernel_backend(),
     )

@@ -27,12 +27,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.rrg import RRG
 from repro.gmg.build import build_template
 from repro.lp import Model, SolveStatus
 from repro.search.state import BUBBLE, RETIME, Move, SearchState
+from repro.sim import batch as _sim_batch
 from repro.sim import cache as _sim_cache
 from repro.sim.scalar import ScalarSimulator
 
@@ -94,6 +97,29 @@ class SearchProblem:
         self.delays: List[float] = [node.delay for node in rrg.nodes]
         self.lp_filter = rrg.num_nodes <= int(lp_filter_max_nodes)
         self._tgmg_template = build_template(rrg, refine=True) if self.lp_filter else None
+        # Dense structure arrays for the multi-lane cycle-time sweep: edge
+        # endpoints plus a CSR of out-edges grouped by source node.
+        node_pos = {name: i for i, name in enumerate(rrg.node_names)}
+        edge_src = [node_pos[edge.src] for edge in rrg.edges]
+        edge_dst = [node_pos[edge.dst] for edge in rrg.edges]
+        self._edge_src_arr = np.asarray(edge_src, dtype=np.int64)
+        self._edge_dst_arr = np.asarray(edge_dst, dtype=np.int64)
+        self._delays_arr = np.asarray(self.delays, dtype=np.float64)
+        order = np.argsort(self._edge_src_arr, kind="stable")
+        self._out_idx = order
+        counts = np.bincount(self._edge_src_arr, minlength=rrg.num_nodes)
+        self._out_ptr = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        # Nodes whose retiming moves actually change some token vector: a
+        # node touching only self-loops shifts lags without moving a single
+        # register, so its "move" would duplicate the current state.
+        retimable = [False] * rrg.num_nodes
+        for src, dst in zip(edge_src, edge_dst):
+            if src != dst:
+                retimable[src] = True
+                retimable[dst] = True
+        self._retimable = retimable
         # Accounting (exposed in SearchResult).
         self.evaluations = 0
         self.simulations = 0
@@ -223,6 +249,164 @@ class SearchProblem:
                 return None
         return Evaluation(cycle_time=tau, throughput=self.throughput(state))
 
+    # -- batched evaluation ----------------------------------------------------
+
+    def cycle_times_batch(self, states: Sequence[SearchState]) -> np.ndarray:
+        """Cycle time of every state in one level-synchronized array sweep.
+
+        Lanes share the edge structure and differ only in buffer vectors, so
+        the Kahn sweep over each lane's zero-buffer subgraph runs as one
+        array program: a joint (lane, node) frontier expands along the CSR of
+        out-edges, relaxes arrivals with ``np.maximum.at`` and retires
+        in-degrees with ``np.subtract.at``.  The arrival of a node is the max
+        over the same float additions the serial sweep performs, so every
+        lane's result is bit-identical to :meth:`cycle_time`.
+
+        Infeasible lanes (a zero-buffer cycle) yield ``math.inf`` instead of
+        the serial path's ``ValueError`` — batch callers rank candidates and
+        an unreachable one simply never wins.
+        """
+        num_lanes = len(states)
+        num_nodes = len(self.delays)
+        if num_lanes == 0 or num_nodes == 0:
+            return np.zeros(num_lanes, dtype=np.float64)
+        delays = self._delays_arr
+        src = self._edge_src_arr
+        dst = self._edge_dst_arr
+        out_ptr, out_idx = self._out_ptr, self._out_idx
+        zero = np.asarray([state.buffers for state in states], dtype=np.int64) == 0
+        indegree = np.zeros((num_lanes, num_nodes), dtype=np.int64)
+        lanes_z, edges_z = np.nonzero(zero)
+        np.add.at(indegree, (lanes_z, dst[edges_z]), 1)
+        arrival = np.tile(delays, (num_lanes, 1))
+        processed = np.zeros(num_lanes, dtype=np.int64)
+        lane_front, node_front = np.nonzero(indegree == 0)
+        while lane_front.size:
+            processed += np.bincount(lane_front, minlength=num_lanes)
+            counts = out_ptr[node_front + 1] - out_ptr[node_front]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Flat expansion of every frontier node's out-edge slice.
+            starts = np.cumsum(counts) - counts
+            edge_flat = out_idx[
+                np.repeat(out_ptr[node_front] - starts, counts)
+                + np.arange(total)
+            ]
+            lane_flat = np.repeat(lane_front, counts)
+            keep = zero[lane_flat, edge_flat]
+            lane_flat, edge_flat = lane_flat[keep], edge_flat[keep]
+            if not lane_flat.size:
+                break
+            dst_flat = dst[edge_flat]
+            np.maximum.at(
+                arrival,
+                (lane_flat, dst_flat),
+                arrival[lane_flat, src[edge_flat]] + delays[dst_flat],
+            )
+            np.subtract.at(indegree, (lane_flat, dst_flat), 1)
+            # A node joins the frontier the moment its last zero in-edge is
+            # retired; after that nothing touches it again, so checking the
+            # unique pairs of this wave finds each node exactly once.
+            touched = np.unique(lane_flat * num_nodes + dst_flat)
+            ready = touched[indegree.reshape(-1)[touched] == 0]
+            lane_front, node_front = ready // num_nodes, ready % num_nodes
+        taus = arrival.max(axis=1)
+        taus[processed < num_nodes] = math.inf
+        return taus
+
+    def evaluate_batch(
+        self,
+        states: Sequence[SearchState],
+        threshold: Optional[float] = None,
+    ) -> List[Optional[Evaluation]]:
+        """Evaluate a pool of candidate states as lanes of one batch.
+
+        With ``threshold`` this is the pooled form of
+        :meth:`evaluate_bounded` — pruned lanes come back ``None`` — and
+        without it the pooled form of :meth:`evaluate`.  Counters advance
+        exactly as the equivalent serial loop would: one evaluation per lane,
+        one simulation per *distinct* uncached configuration (duplicate lanes
+        and cache hits are free), and the shared throughput cache is both
+        consulted and populated with the serial keys, so results are
+        bit-identical whichever path computed them first.
+
+        Infeasible lanes never raise: under a threshold they are pruned
+        (``tau = inf``), otherwise they evaluate to ``xi = inf``.
+        """
+        results: List[Optional[Evaluation]] = [None] * len(states)
+        if not states:
+            return results
+        self.evaluations += len(states)
+        taus = self.cycle_times_batch(states)
+        survivors: List[int] = []
+        for index, state in enumerate(states):
+            tau = float(taus[index])
+            if threshold is not None:
+                if tau >= threshold:
+                    self.pruned_tau += 1
+                    continue
+                if self.lp_filter and threshold < math.inf:
+                    bound = self.lp_bound(state)
+                    if bound > 0 and tau / bound >= threshold:
+                        self.pruned_lp += 1
+                        continue
+            elif not math.isfinite(tau):
+                # A zero-buffer cycle deadlocks the circuit: Theta = 0.
+                results[index] = Evaluation(cycle_time=tau, throughput=0.0)
+                continue
+            survivors.append(index)
+        if not survivors:
+            return results
+        throughputs = self._throughput_batch([states[i] for i in survivors])
+        for index, value in zip(survivors, throughputs):
+            results[index] = Evaluation(
+                cycle_time=float(taus[index]), throughput=value
+            )
+        return results
+
+    def _throughput_batch(self, states: Sequence[SearchState]) -> List[float]:
+        """Throughputs of many states: cache, dedupe, then one batched run."""
+        keys = []
+        for state in states:
+            keys.append(
+                _sim_cache.throughput_key(
+                    self.fingerprint, self.mode,
+                    state.token_vector(), state.buffer_vector(),
+                    self.cycles, self.warmup, self.seed,
+                )
+            )
+        values: Dict[Tuple, float] = {}
+        miss_keys: List[Tuple] = []
+        miss_lanes: List[int] = []
+        for lane, key in enumerate(keys):
+            if key in values:
+                continue
+            hit = _sim_cache.cached_throughput(key)
+            if hit is not None:
+                values[key] = hit
+                continue
+            values[key] = math.nan  # placeholder: pending unique miss
+            miss_keys.append(key)
+            miss_lanes.append(lane)
+        if miss_keys:
+            tokens = np.asarray(
+                [states[lane].tokens for lane in miss_lanes], dtype=np.int64
+            )
+            buffers = np.asarray(
+                [states[lane].buffers for lane in miss_lanes], dtype=np.int64
+            )
+            models = self.template.instantiate_batch(tokens, buffers)
+            computed = _sim_batch.run_models(
+                models, [self.seed] * len(models), self.cycles, self.warmup
+            )
+            for key, value in zip(miss_keys, computed):
+                value = float(value)
+                _sim_cache.store_throughput(key, value)
+                values[key] = value
+            self.simulations += len(miss_keys)
+        return [values[key] for key in keys]
+
     def lp_bound(self, state: SearchState) -> float:
         """Theta_lp of the state (LP (11) over the shared TGMG template)."""
         from repro.core.throughput import add_throughput_constraints
@@ -256,13 +440,21 @@ class SearchProblem:
         registers onto the critical path without the throughput cost of a
         bubble) and bubble removals anywhere (recovering throughput).  The
         pool order is deterministic; ``rng`` only subsamples it.
+
+        The pool never repeats a move key and never contains a no-op (a
+        retiming that only shifts lags), so every entry maps to a distinct
+        candidate configuration — batched evaluation gets one lane per
+        genuinely new state instead of burning lanes on duplicates.
         """
         critical = self.critical_edges(state)
         retimes: List[Move] = []
         bubbles: List[Move] = []
         seen = set()
+        retimable = self._retimable
 
         def add(pool: List[Move], move: Move) -> None:
+            if move.kind == RETIME and not retimable[move.target]:
+                return
             key = (move.kind, move.target, move.delta)
             if key not in seen and state.can_apply(move):
                 seen.add(key)

@@ -6,6 +6,14 @@ returns a new personal-best ``(state copy, evaluation)`` when it improved.
 The racer interleaves steps across strategies, so every strategy is anytime
 by construction and the interleaving order is deterministic.
 
+Both strategies propose a *pool* of moves per step and evaluate the whole
+pool through :meth:`~repro.search.problem.SearchProblem.evaluate_batch`
+(one batched cycle-time sweep, one batched simulation of the uncached
+lanes).  The pool size is a declarative parameter of the run — it enters
+the racer's deterministic cost model — so same seed and same parameters
+give the same incumbent on every host and kernel backend; the batch is
+purely an executor choice.
+
 Strategies only consume randomness from their own ``random.Random(seed)``;
 evaluation attempts go through the shared :class:`~repro.search.problem.
 SearchProblem` counters, which is what the racer budgets.
@@ -15,12 +23,22 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.search.problem import Evaluation, SearchProblem
 from repro.search.state import Move, SearchState
 
 Candidate = Tuple[SearchState, Evaluation]
+
+
+def _pool_states(state: SearchState, moves: List[Move]) -> List[SearchState]:
+    """One candidate state per move (apply / snapshot / revert)."""
+    candidates: List[SearchState] = []
+    for move in moves:
+        state.apply(move)
+        candidates.append(state.copy())
+        state.revert(move)
+    return candidates
 
 
 class Strategy:
@@ -97,12 +115,12 @@ class GreedyDescent(Strategy):
         problem, state, rng = self.problem, self.state, self.rng
         moves = problem.sample_moves(state, rng, self.sample_size)
         threshold = self.evaluation.effective_cycle_time
+        evaluations = problem.evaluate_batch(
+            _pool_states(state, moves), threshold=threshold
+        )
         best_move: Optional[Move] = None
         best_eval: Optional[Evaluation] = None
-        for move in moves:
-            state.apply(move)
-            candidate = problem.evaluate_bounded(state, threshold)
-            state.revert(move)
+        for move, candidate in zip(moves, evaluations):
             if candidate is None:
                 continue
             if (
@@ -132,13 +150,18 @@ class GreedyDescent(Strategy):
 
 
 class SimulatedAnnealing(Strategy):
-    """Metropolis acceptance over single sampled moves, geometric cooling.
+    """Metropolis acceptance over pooled moves, geometric cooling.
 
-    The temperature starts at ``initial_fraction`` of the starting ``xi``
-    and multiplies by ``cooling`` per step; the strategy is exhausted when
-    the schedule of ``schedule_steps`` steps completes (the racer sizes the
-    schedule from its deterministic evaluation budget) or the temperature
-    hits its floor.
+    Each step evaluates a pool of up to ``sample_size`` sampled moves in one
+    batch, then walks the lanes in pool order as Metropolis *attempts*: each
+    lane advances the temperature and (for uphill lanes) draws one
+    acceptance uniform from the strategy's own RNG stream; the first
+    accepted lane commits and the rest of the pool is discarded — those
+    attempts are already spent, exactly as if they had been proposed and
+    rejected one at a time.  The schedule counts attempts (= evaluation
+    attempts), so the racer's deterministic budget sizing is unchanged by
+    pooling; the strategy is exhausted when ``schedule_steps`` attempts
+    complete or the temperature hits its floor.
     """
 
     name = "anneal"
@@ -152,9 +175,11 @@ class SimulatedAnnealing(Strategy):
         self.initial_fraction = initial_fraction
         self.min_temperature = min_temperature
         self.sample_size = sample_size
+        self.attempts = 0
 
     def start(self, problem, state, evaluation, seed):  # noqa: D102
         super().start(problem, state, evaluation, seed)
+        self.attempts = 0
         xi0 = evaluation.effective_cycle_time
         scale = xi0 if math.isfinite(xi0) else 1.0
         self.temperature = max(self.initial_fraction * scale,
@@ -168,15 +193,19 @@ class SimulatedAnnealing(Strategy):
             return None
         self.steps += 1
         problem, state, rng = self.problem, self.state, self.rng
-        moves = problem.sample_moves(state, rng, self.sample_size)
+        pool = min(self.sample_size, self.schedule_steps - self.attempts)
+        moves = problem.sample_moves(state, rng, max(1, pool))
+        if not moves:
+            # No legal move exists from this state (move generation is
+            # deterministic up to subsampling) — nothing left to anneal.
+            self.exhausted = True
+            return None
+        # Anneal must see the true value of accepted uphill moves, so the
+        # pool evaluates without the incumbent filter.
+        evaluations = problem.evaluate_batch(_pool_states(state, moves))
         improved: Optional[Candidate] = None
-        if moves:
-            move = rng.choice(moves)
-            state.apply(move)
-            # Anneal must see the true value of accepted uphill moves, so it
-            # evaluates without the incumbent filter (one attempt per step
-            # keeps the budget accounting identical).
-            candidate = problem.evaluate(state)
+        for move, candidate in zip(moves, evaluations):
+            self.attempts += 1
             delta = (
                 candidate.effective_cycle_time
                 - self.evaluation.effective_cycle_time
@@ -185,13 +214,13 @@ class SimulatedAnnealing(Strategy):
                 math.isfinite(delta)
                 and rng.random() < math.exp(-delta / self.temperature)
             )
+            self.temperature *= self.cooling
             if accept:
+                state.apply(move)
                 self.evaluation = candidate
                 improved = self._record(candidate)
-            else:
-                state.revert(move)
-        self.temperature *= self.cooling
-        if self.steps >= self.schedule_steps or (
+                break
+        if self.attempts >= self.schedule_steps or (
             self.temperature < self.min_temperature
         ):
             self.exhausted = True

@@ -446,10 +446,15 @@ class Broker:
 
     def stats(self) -> Dict[str, Any]:
         """Hit/miss, queue and batching counters (the ``/stats`` body)."""
+        from repro.sim.kernels import kernel_backend
+
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "accepting": self._accepting,
             "shards": self.shards,
+            # Live host provenance: which compiled simulation backend this
+            # process runs (results are backend-independent).
+            "kernel_backend": kernel_backend(),
             "queue": {
                 "depth": self._queue.qsize(),
                 "limit": self.queue_limit,

@@ -4,6 +4,11 @@ Compiles TGMGs / elastic circuits into flat numpy index arrays and advances
 whole cycles (and whole batches of configurations or replicas) with array
 operations, while staying firing-for-firing compatible with the pure-Python
 reference simulators under a shared seed.  See ``docs/performance.md``.
+
+Hot loops additionally lower to compiled kernels (numba or generated C)
+when a backend is available — see :mod:`repro.sim.kernels`; every backend
+is bit-identical to the pure-python engines, and ``kernel_backend()``
+reports which one is active.
 """
 
 from repro.sim.batch import (
@@ -12,6 +17,7 @@ from repro.sim.batch import (
     simulate_throughput_vector,
 )
 from repro.sim.cache import cache_stats, clear_caches, compiled_template_for
+from repro.sim.kernels import kernel_backend, kernel_info, use_backend
 from repro.sim.engine import (
     BatchRunResult,
     CompiledModel,
@@ -37,7 +43,10 @@ __all__ = [
     "compile_template",
     "compile_tgmg",
     "compiled_template_for",
+    "kernel_backend",
+    "kernel_info",
     "simulate_configurations",
     "simulate_replicas",
     "simulate_throughput_vector",
+    "use_backend",
 ]

@@ -23,10 +23,54 @@ import numpy as np
 from repro.core.configuration import RRConfiguration
 from repro.core.rrg import RRG
 from repro.sim import cache as _cache
-from repro.sim.engine import VectorSimulator
+from repro.sim import kernels as _kernels
+from repro.sim.engine import CompiledModel, VectorSimulator
 from repro.sim.scalar import ScalarSimulator
 
 Source = Union[RRG, RRConfiguration]
+
+
+def run_models(
+    models: Sequence[CompiledModel],
+    seeds: Sequence[Optional[int]],
+    cycles: int,
+    warmup: int,
+) -> List[float]:
+    """Simulate one lane per compiled model; throughputs in input order.
+
+    The executor choice is a pure performance decision — every path is
+    bit-identical to a serial :class:`ScalarSimulator` run per lane:
+
+    * a native kernel backend (numba / generated C) runs event-driven lanes
+      through :mod:`repro.sim.kernels` (via the ``ScalarSimulator.run``
+      lowering);
+    * otherwise the array wavefront amortises its per-wave overhead across
+      lanes, which wins once the batch is wide and the graph small enough
+      that per-lane python work dominates; else event-driven python lanes.
+    """
+    if not models:
+        return []
+    use_wavefront = (
+        len(models) >= 8
+        and models[0].structure.num_nodes <= 128
+        and not _kernels.native_active()
+    )
+    if not use_wavefront:
+        return [
+            float(
+                ScalarSimulator(model, seed=seed)
+                .run(cycles=cycles, warmup=warmup)
+                .throughputs[0]
+            )
+            for model, seed in zip(models, seeds)
+        ]
+    markings = np.stack([model.marking0 for model in models])
+    latencies = np.stack([model.latency for model in models])
+    simulator = VectorSimulator(
+        models[0], markings=markings, latencies=latencies, seeds=list(seeds)
+    )
+    run = simulator.run(cycles=cycles, warmup=warmup)
+    return [float(value) for value in run.throughputs]
 
 
 def default_warmup(cycles: int) -> int:
@@ -206,34 +250,9 @@ def simulate_vectors(
             template.instantiate(vectors[i][0], vectors[i][1])
             for i in misses
         ]
-        # Strategy: the array wavefront amortises its per-wave call overhead
-        # across lanes, which wins once the batch is wide and the graph small
-        # enough that per-lane python work dominates; otherwise event-driven
-        # lanes are faster.  Both are bit-identical to the reference.
-        use_wavefront = (
-            len(misses) >= 8
-            and models[0].structure.num_nodes <= 128
+        throughputs = run_models(
+            models, [lane_seeds[i] for i in misses], cycles, warmup
         )
-        if not use_wavefront:
-            throughputs = [
-                float(
-                    ScalarSimulator(model, seed=lane_seeds[index])
-                    .run(cycles=cycles, warmup=warmup)
-                    .throughputs[0]
-                )
-                for model, index in zip(models, misses)
-            ]
-        else:
-            markings = np.stack([m.marking0 for m in models])
-            latencies = np.stack([m.latency for m in models])
-            simulator = VectorSimulator(
-                models[0],
-                markings=markings,
-                latencies=latencies,
-                seeds=[lane_seeds[i] for i in misses],
-            )
-            run = simulator.run(cycles=cycles, warmup=warmup)
-            throughputs = [float(v) for v in run.throughputs]
         for lane, index in enumerate(misses):
             value = throughputs[lane]
             results[index] = value

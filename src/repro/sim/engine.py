@@ -192,6 +192,15 @@ class CompiledTemplate:
             values[buf_pos] = buf[buf_src]
         return np.rint(values).astype(np.int64)
 
+    def _resolve_batch(self, split, tok: np.ndarray, buf: np.ndarray) -> np.ndarray:
+        const, tok_pos, tok_src, buf_pos, buf_src = split
+        values = np.tile(const, (tok.shape[0], 1))
+        if tok_pos.size:
+            values[:, tok_pos] = tok[:, tok_src]
+        if buf_pos.size:
+            values[:, buf_pos] = buf[:, buf_src]
+        return np.rint(values).astype(np.int64)
+
     def instantiate(
         self, tokens: Mapping[int, int], buffers: Mapping[int, int]
     ) -> CompiledModel:
@@ -207,6 +216,39 @@ class CompiledTemplate:
         if (latency < 0).any():
             raise GMGError("negative latency in compiled model")
         return CompiledModel(structure=self.structure, marking0=marking0, latency=latency)
+
+    def instantiate_batch(
+        self,
+        tokens: np.ndarray,
+        buffers: np.ndarray,
+    ) -> List[CompiledModel]:
+        """Resolve ``B`` configurations at once from dense vectors.
+
+        ``tokens``/``buffers`` are ``(B, num_source_edges)`` arrays (source
+        RRG edge order).  Each returned model is value-identical to a serial
+        :meth:`instantiate` of the same vectors — lanes only amortise the
+        resolution arithmetic.
+        """
+        tok = np.asarray(tokens, dtype=np.float64)
+        buf = np.asarray(buffers, dtype=np.float64)
+        if tok.ndim != 2 or tok.shape != buf.shape or (
+            tok.shape[1] != self.num_source_edges
+        ):
+            raise ValueError(
+                "tokens/buffers must both be (B, num_source_edges) arrays"
+            )
+        markings = self._resolve_batch(self._mk, tok, buf)
+        latencies = self._resolve_batch(self._lat, tok, buf)
+        if (latencies < 0).any():
+            raise GMGError("negative latency in compiled model")
+        return [
+            CompiledModel(
+                structure=self.structure,
+                marking0=markings[lane],
+                latency=latencies[lane],
+            )
+            for lane in range(tok.shape[0])
+        ]
 
 
 # -- compilers ----------------------------------------------------------------

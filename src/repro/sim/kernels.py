@@ -1,0 +1,745 @@
+"""Lowered simulation kernels for the event-driven engine.
+
+The pure-python :class:`repro.sim.scalar.ScalarSimulator` advances one lane
+with event-driven bookkeeping; its inner loop is the cost center of every
+search evaluation.  This module lowers that exact loop — same worklist, same
+threshold crossings, same ``random.Random``-compatible guard draws — to a
+real kernel:
+
+* ``numba`` — ``@njit`` of the single-source array program, when numba is
+  importable;
+* ``c`` — the same program emitted as C, compiled once per machine with the
+  system C compiler and loaded through ``ctypes`` (the near-native fallback
+  for environments without numba);
+* ``python`` — the mandatory fallback: the list-based ``ScalarSimulator``
+  loop itself (and, for lane batches of small graphs, the
+  :class:`repro.sim.engine.VectorSimulator` wavefront).  Every backend is
+  firing-for-firing identical, so results never depend on which one ran.
+
+Selection happens at import time from ``REPRO_SIM_KERNEL``:
+
+* ``auto`` (default) — numba if importable, else the generated-C path if a
+  C compiler is on ``PATH``, else pure python;
+* ``numba`` / ``c`` — require that backend (raise if unavailable);
+* ``python`` — force the pure-python fallback.
+
+Native backends are *materialized* lazily (numba jit / C compile happen at
+first use, guarded by a lock); under ``auto`` a materialization failure
+demotes to the next backend and records the reason in :func:`kernel_info`.
+
+Bit-identical RNG: guard draws must consume the stream of one fresh
+``random.Random(seed)`` in exactly the reference order (cycle start, early
+node order, only when no guard is held).  The kernel cannot call back into
+python per draw, so uniforms are pre-drawn in chunks into a buffer; the
+kernel consumes them sequentially and returns for a refill when the buffer
+cannot cover a cycle's worst case.  The total number of draws *consumed* is
+tracked, so callers can replay an equivalent ``random.Random`` to continue
+a run in pure python.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import random
+import shutil
+import subprocess
+import tempfile
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+_ENV_VAR = "REPRO_SIM_KERNEL"
+_CACHE_ENV_VAR = "REPRO_SIM_KERNEL_CACHE"
+_BACKENDS = ("auto", "numba", "c", "python")
+
+#: Pre-drawn guard uniforms per refill chunk.
+_UNIFORM_CHUNK = 1 << 15
+
+
+# -- the single-source kernel program -----------------------------------------
+#
+# One cycle of the event-driven engine over flat int64/float64 arrays; the
+# body is a statement-for-statement mirror of ``ScalarSimulator.step`` (same
+# worklist order, same threshold crossings, same guard-draw positions), so
+# markings, firings and RNG consumption are bit-identical.  The function is
+# written in the numba-compatible subset of python: it runs as-is (slow, used
+# by the parity tests), under ``@njit``, and as generated C below.
+#
+# State is carried in the arrays plus ``io``: ``io[0]`` the cycle counter,
+# ``io[1]`` the uniform cursor, ``io[2]`` the persistent ready-list length.
+# Returns 0 after ``max_cycles`` cycles, or 1 when the uniform buffer cannot
+# cover another cycle (caller refills and re-invokes).
+
+
+def _kernel_cycles(
+    max_cycles, num_nodes, num_edges, num_early, depth,
+    cons, in_ptr, in_idx, out_ptr, out_idx,
+    early_nodes, early_slot,
+    guard_ptr, guard_edges, guard_cumw, guard_total, guard_hi,
+    latency, marking, deficit, pending, firings,
+    ring_count, ring_edges, queue, next_ready, fired_cycle,
+    uniforms, u_len, io,
+):
+    cycle = io[0]
+    u_index = io[1]
+    nr_len = io[2]
+    done = 0
+    while done < max_cycles:
+        if num_early > 0 and u_index + num_early > u_len:
+            io[0] = cycle
+            io[1] = u_index
+            io[2] = nr_len
+            return 1
+        # The worklist starts from the simple nodes whose deficit was zero
+        # at the last cycle boundary.
+        qlen = nr_len
+        for i in range(nr_len):
+            queue[i] = next_ready[i]
+        nr_len = 0
+
+        # 1. Deliver tokens whose latency elapsed this cycle.
+        slot = cycle % depth
+        base = slot * num_edges
+        count = ring_count[slot]
+        for i in range(count):
+            edge = ring_edges[base + i]
+            value = marking[edge]
+            marking[edge] = value + 1
+            if value == 0:  # crossed into >= 1
+                consumer = cons[edge]
+                position = early_slot[consumer]
+                if position >= 0:
+                    if pending[position] == edge:
+                        queue[qlen] = consumer
+                        qlen += 1
+                else:
+                    remaining = deficit[consumer] - 1
+                    deficit[consumer] = remaining
+                    if remaining == 0:
+                        queue[qlen] = consumer
+                        qlen += 1
+        ring_count[slot] = 0
+
+        # 2. Early nodes without a held guard sample one, in node order.
+        for position in range(num_early):
+            guard = pending[position]
+            if guard < 0:
+                x = uniforms[u_index] * guard_total[position]
+                u_index += 1
+                gbase = guard_ptr[position]
+                hi = guard_hi[position]
+                k = 0
+                while k < hi and guard_cumw[gbase + k] <= x:
+                    k += 1
+                guard = guard_edges[gbase + k]
+                pending[position] = guard
+            if marking[guard] >= 1:
+                queue[qlen] = early_nodes[position]
+                qlen += 1
+
+        # 3. Fire to a fixpoint.
+        while qlen > 0:
+            qlen -= 1
+            node = queue[qlen]
+            if fired_cycle[node] == cycle:
+                continue
+            position = early_slot[node]
+            if position >= 0:
+                guard = pending[position]
+                if guard < 0:  # mirror python list[-1] (unreachable in practice)
+                    guard += num_edges
+                if marking[guard] < 1:
+                    continue
+            elif deficit[node] != 0:
+                continue
+            fired_cycle[node] = cycle
+            firings[node] += 1
+            for k in range(in_ptr[node], in_ptr[node + 1]):
+                edge = in_idx[k]
+                value = marking[edge] - 1
+                marking[edge] = value
+                if value == 0:  # crossed below 1; the consumer is this node
+                    deficit[node] += 1
+            if position >= 0:
+                pending[position] = -1
+            for k in range(out_ptr[node], out_ptr[node + 1]):
+                edge = out_idx[k]
+                lat = latency[edge]
+                if lat == 0:
+                    value = marking[edge]
+                    marking[edge] = value + 1
+                    if value == 0:
+                        consumer = cons[edge]
+                        cpos = early_slot[consumer]
+                        if cpos >= 0:
+                            if pending[cpos] == edge:
+                                queue[qlen] = consumer
+                                qlen += 1
+                        else:
+                            remaining = deficit[consumer] - 1
+                            deficit[consumer] = remaining
+                            if remaining == 0:
+                                if fired_cycle[consumer] == cycle:
+                                    next_ready[nr_len] = consumer
+                                    nr_len += 1
+                                else:
+                                    queue[qlen] = consumer
+                                    qlen += 1
+                else:
+                    target = slot + lat
+                    if target >= depth:
+                        target -= depth
+                    ring_edges[target * num_edges + ring_count[target]] = edge
+                    ring_count[target] += 1
+            if deficit[node] == 0:
+                next_ready[nr_len] = node
+                nr_len += 1
+
+        cycle += 1
+        done += 1
+    io[0] = cycle
+    io[1] = u_index
+    io[2] = nr_len
+    return 0
+
+
+# -- generated C mirror --------------------------------------------------------
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+typedef int64_t I64;
+
+I64 repro_sim_kernel(
+    I64 max_cycles, I64 num_nodes, I64 num_edges, I64 num_early, I64 depth,
+    const I64 *cons, const I64 *in_ptr, const I64 *in_idx,
+    const I64 *out_ptr, const I64 *out_idx,
+    const I64 *early_nodes, const I64 *early_slot,
+    const I64 *guard_ptr, const I64 *guard_edges,
+    const double *guard_cumw, const double *guard_total, const I64 *guard_hi,
+    const I64 *latency,
+    I64 *marking, I64 *deficit, I64 *pending, I64 *firings,
+    I64 *ring_count, I64 *ring_edges,
+    I64 *queue, I64 *next_ready, I64 *fired_cycle,
+    const double *uniforms, I64 u_len, I64 *io)
+{
+    I64 cycle = io[0];
+    I64 u_index = io[1];
+    I64 nr_len = io[2];
+    I64 done = 0;
+    (void)num_nodes;
+    while (done < max_cycles) {
+        if (num_early > 0 && u_index + num_early > u_len) {
+            io[0] = cycle; io[1] = u_index; io[2] = nr_len;
+            return 1;
+        }
+        I64 qlen = nr_len;
+        for (I64 i = 0; i < nr_len; i++) queue[i] = next_ready[i];
+        nr_len = 0;
+
+        /* 1. deliveries */
+        I64 slot = cycle % depth;
+        I64 *bucket = ring_edges + slot * num_edges;
+        I64 count = ring_count[slot];
+        for (I64 i = 0; i < count; i++) {
+            I64 edge = bucket[i];
+            I64 value = marking[edge];
+            marking[edge] = value + 1;
+            if (value == 0) {
+                I64 consumer = cons[edge];
+                I64 position = early_slot[consumer];
+                if (position >= 0) {
+                    if (pending[position] == edge) queue[qlen++] = consumer;
+                } else {
+                    I64 remaining = deficit[consumer] - 1;
+                    deficit[consumer] = remaining;
+                    if (remaining == 0) queue[qlen++] = consumer;
+                }
+            }
+        }
+        ring_count[slot] = 0;
+
+        /* 2. guard draws */
+        for (I64 position = 0; position < num_early; position++) {
+            I64 guard = pending[position];
+            if (guard < 0) {
+                double x = uniforms[u_index++] * guard_total[position];
+                I64 gbase = guard_ptr[position];
+                I64 hi = guard_hi[position];
+                I64 k = 0;
+                while (k < hi && guard_cumw[gbase + k] <= x) k++;
+                guard = guard_edges[gbase + k];
+                pending[position] = guard;
+            }
+            if (marking[guard] >= 1) queue[qlen++] = early_nodes[position];
+        }
+
+        /* 3. firing fixpoint */
+        while (qlen > 0) {
+            I64 node = queue[--qlen];
+            if (fired_cycle[node] == cycle) continue;
+            I64 position = early_slot[node];
+            if (position >= 0) {
+                I64 guard = pending[position];
+                if (guard < 0) guard += num_edges;
+                if (marking[guard] < 1) continue;
+            } else if (deficit[node] != 0) continue;
+            fired_cycle[node] = cycle;
+            firings[node]++;
+            for (I64 k = in_ptr[node]; k < in_ptr[node + 1]; k++) {
+                I64 edge = in_idx[k];
+                I64 value = marking[edge] - 1;
+                marking[edge] = value;
+                if (value == 0) deficit[node]++;
+            }
+            if (position >= 0) pending[position] = -1;
+            for (I64 k = out_ptr[node]; k < out_ptr[node + 1]; k++) {
+                I64 edge = out_idx[k];
+                I64 lat = latency[edge];
+                if (lat == 0) {
+                    I64 value = marking[edge];
+                    marking[edge] = value + 1;
+                    if (value == 0) {
+                        I64 consumer = cons[edge];
+                        I64 cpos = early_slot[consumer];
+                        if (cpos >= 0) {
+                            if (pending[cpos] == edge) queue[qlen++] = consumer;
+                        } else {
+                            I64 remaining = deficit[consumer] - 1;
+                            deficit[consumer] = remaining;
+                            if (remaining == 0) {
+                                if (fired_cycle[consumer] == cycle)
+                                    next_ready[nr_len++] = consumer;
+                                else
+                                    queue[qlen++] = consumer;
+                            }
+                        }
+                    }
+                } else {
+                    I64 target = slot + lat;
+                    if (target >= depth) target -= depth;
+                    ring_edges[target * num_edges + ring_count[target]] = edge;
+                    ring_count[target]++;
+                }
+            }
+            if (deficit[node] == 0) next_ready[nr_len++] = node;
+        }
+
+        cycle++;
+        done++;
+    }
+    io[0] = cycle; io[1] = u_index; io[2] = nr_len;
+    return 0;
+}
+"""
+
+
+# -- backend selection ---------------------------------------------------------
+
+_lock = threading.Lock()
+_backend: str = "python"
+_requested: str = "auto"
+_materialized = False
+_numba_kernel = None
+_c_kernel = None
+_info_notes: List[str] = []
+
+
+def _find_compiler() -> Optional[str]:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _select_backend() -> str:
+    requested = (os.environ.get(_ENV_VAR) or "auto").strip().lower() or "auto"
+    if requested not in _BACKENDS:
+        raise ValueError(
+            f"{_ENV_VAR}={requested!r} is not one of {', '.join(_BACKENDS)}"
+        )
+    global _requested
+    _requested = requested
+    if requested == "python":
+        return "python"
+    if requested in ("auto", "numba"):
+        try:
+            import numba  # noqa: F401
+
+            return "numba"
+        except ImportError as exc:
+            if requested == "numba":
+                raise RuntimeError(
+                    f"{_ENV_VAR}=numba but numba is not importable: {exc}"
+                ) from exc
+            _info_notes.append(f"numba unavailable: {exc}")
+    if _find_compiler() is not None:
+        return "c"
+    if requested == "c":
+        raise RuntimeError(f"{_ENV_VAR}=c but no C compiler is on PATH")
+    _info_notes.append("no C compiler on PATH")
+    return "python"
+
+
+_backend = _select_backend()
+
+
+def _build_c_kernel():
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = os.environ.get(_CACHE_ENV_VAR) or os.path.join(
+        tempfile.gettempdir(), "repro-sim-kernels"
+    )
+    os.makedirs(cache_dir, exist_ok=True)
+    lib_path = os.path.join(cache_dir, f"kernel-{digest}.so")
+    if not os.path.exists(lib_path):
+        src_path = os.path.join(cache_dir, f"kernel-{digest}.c")
+        with open(src_path, "w", encoding="utf-8") as handle:
+            handle.write(_C_SOURCE)
+        compiler = _find_compiler()
+        if compiler is None:
+            raise RuntimeError("no C compiler on PATH")
+        scratch = f"{lib_path}.tmp-{os.getpid()}"
+        try:
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-o", scratch, src_path],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(scratch, lib_path)  # atomic under concurrent builders
+        finally:
+            if os.path.exists(scratch):
+                os.unlink(scratch)
+    library = ctypes.CDLL(lib_path)
+    fn = library.repro_sim_kernel
+    i64 = ctypes.c_int64
+    i64_p = ctypes.POINTER(ctypes.c_int64)
+    f64_p = ctypes.POINTER(ctypes.c_double)
+    fn.restype = i64
+    fn.argtypes = (
+        [i64] * 5
+        + [i64_p] * 7          # cons .. early_slot
+        + [i64_p] * 2          # guard_ptr, guard_edges
+        + [f64_p] * 2          # guard_cumw, guard_total
+        + [i64_p]              # guard_hi
+        + [i64_p] * 10         # latency .. fired_cycle
+        + [f64_p, i64, i64_p]  # uniforms, u_len, io
+    )
+    fn._library = library  # keep the CDLL alive alongside the function
+    return fn
+
+
+def _materialize_locked() -> None:
+    """Jit / compile the selected backend; demote under ``auto`` on failure."""
+    global _backend, _materialized, _numba_kernel, _c_kernel
+    if _materialized:
+        return
+    if _backend == "numba" and _numba_kernel is None:
+        try:
+            import numba
+
+            _numba_kernel = numba.njit(cache=True, nogil=True)(_kernel_cycles)
+        except Exception as exc:  # noqa: BLE001 — demote, never break callers
+            if _requested == "numba":
+                raise
+            _info_notes.append(f"numba jit failed: {type(exc).__name__}: {exc}")
+            _backend = "c" if _find_compiler() is not None else "python"
+    if _backend == "c" and _c_kernel is None:
+        try:
+            _c_kernel = _build_c_kernel()
+        except Exception as exc:  # noqa: BLE001
+            if _requested == "c":
+                raise
+            _info_notes.append(f"C build failed: {type(exc).__name__}: {exc}")
+            _backend = "python"
+    _materialized = True
+
+
+def kernel_backend() -> str:
+    """The active backend name (``numba`` / ``c`` / ``python``), materialized."""
+    with _lock:
+        _materialize_locked()
+        return _backend
+
+
+def native_active() -> bool:
+    """True when a compiled (numba or C) kernel is loaded and selected."""
+    return kernel_backend() in ("numba", "c")
+
+
+def kernel_info() -> dict:
+    """Probe report: requested vs active backend and any demotion notes."""
+    with _lock:
+        _materialize_locked()
+        return {
+            "requested": _requested,
+            "backend": _backend,
+            "notes": list(_info_notes),
+        }
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Force a backend for the duration of a block (tests and benchmarks).
+
+    Raises ``RuntimeError`` when the requested backend cannot be
+    materialized, so callers can skip gracefully.
+    """
+    if name not in ("numba", "c", "python"):
+        raise ValueError(f"unknown backend {name!r}")
+    global _backend, _requested, _materialized
+    with _lock:
+        _materialize_locked()
+        saved = (_backend, _requested, _materialized)
+        _requested = name
+        _backend = name
+        _materialized = False
+        try:
+            _materialize_locked()
+        except Exception as exc:
+            _backend, _requested, _materialized = saved
+            if isinstance(exc, RuntimeError):
+                raise
+            raise RuntimeError(
+                f"kernel backend {name!r} is unavailable: {exc}"
+            ) from exc
+    try:
+        yield name
+    finally:
+        with _lock:
+            _backend, _requested, _materialized = saved
+
+
+# -- per-structure kernel plans ------------------------------------------------
+
+
+class KernelPlan:
+    """Flat index arrays of one compiled structure, shared by every backend.
+
+    Also carries the python-side lists the :class:`ScalarSimulator`
+    constructor needs, so the O(V + E) numpy-scalar conversions happen once
+    per structure instead of once per candidate evaluation.
+    """
+
+    def __init__(self, structure) -> None:
+        num_nodes = structure.num_nodes
+        num_edges = structure.num_edges
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.cons = np.ascontiguousarray(structure.cons, dtype=np.int64)
+        self.in_ptr = np.ascontiguousarray(structure.in_ptr, dtype=np.int64)
+        self.in_idx = np.ascontiguousarray(structure.in_idx, dtype=np.int64)
+        prod = np.asarray(structure.prod, dtype=np.int64)
+        # Stable sort keeps each node's out-edges in ascending edge order —
+        # the same order ScalarSimulator builds its out-lists in.
+        self.out_idx = np.ascontiguousarray(
+            np.argsort(prod, kind="stable"), dtype=np.int64
+        )
+        out_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        counts = np.bincount(prod, minlength=num_nodes) if num_edges else (
+            np.zeros(num_nodes, dtype=np.int64)
+        )
+        np.cumsum(counts, out=out_ptr[1:])
+        self.out_ptr = out_ptr
+        self.early_nodes = np.ascontiguousarray(
+            structure.early_pos, dtype=np.int64
+        )
+        early_slot = np.full(num_nodes, -1, dtype=np.int64)
+        for slot, node in enumerate(self.early_nodes):
+            early_slot[node] = slot
+        self.early_slot = early_slot
+        guard_ptr = [0]
+        guard_edges: List[int] = []
+        guard_cumw: List[float] = []
+        guard_total: List[float] = []
+        guard_hi: List[int] = []
+        for table in structure.guards:
+            guard_edges.extend(int(edge) for edge in table.edges)
+            guard_cumw.extend(table.cum_weights)
+            guard_ptr.append(len(guard_edges))
+            guard_total.append(table.total)
+            guard_hi.append(table.hi)
+        self.guard_ptr = np.asarray(guard_ptr, dtype=np.int64)
+        self.guard_edges = np.asarray(guard_edges, dtype=np.int64)
+        self.guard_cumw = np.asarray(guard_cumw, dtype=np.float64)
+        self.guard_total = np.asarray(guard_total, dtype=np.float64)
+        self.guard_hi = np.asarray(guard_hi, dtype=np.int64)
+        self.num_early = len(guard_total)
+
+        # python-side structure lists (shared with ScalarSimulator).
+        in_ptr_list = self.in_ptr.tolist()
+        in_idx_list = self.in_idx.tolist()
+        out_ptr_list = out_ptr.tolist()
+        out_idx_list = self.out_idx.tolist()
+        self.cons_list = self.cons.tolist()
+        self.in_edges = [
+            tuple(in_idx_list[in_ptr_list[n] : in_ptr_list[n + 1]])
+            for n in range(num_nodes)
+        ]
+        self.out_lists = [
+            tuple(out_idx_list[out_ptr_list[n] : out_ptr_list[n + 1]])
+            for n in range(num_nodes)
+        ]
+        self.early_nodes_list = self.early_nodes.tolist()
+        self.early_slot_list = early_slot.tolist()
+        self.is_early = [slot >= 0 for slot in self.early_slot_list]
+
+        # Worklist capacities: per cycle the queue sees at most the previous
+        # ready list (<= V + E), one delivery crossing per edge, one draw per
+        # early node and two production crossings per edge; sized generously.
+        self.queue_cap = 4 * (num_nodes + num_edges) + self.num_early + 64
+        self.ready_cap = 2 * (num_nodes + num_edges) + 64
+
+
+def plan_for(structure) -> KernelPlan:
+    """The (cached) kernel plan of a compiled structure."""
+    plan = getattr(structure, "_kernel_plan", None)
+    if plan is None:
+        plan = KernelPlan(structure)
+        structure._kernel_plan = plan
+    return plan
+
+
+# -- kernel runs ---------------------------------------------------------------
+
+
+class KernelRun:
+    """State of one lane advanced by the active kernel backend."""
+
+    def __init__(self, model, seed: Optional[int]) -> None:
+        plan = plan_for(model.structure)
+        self.plan = plan
+        num_nodes, num_edges = plan.num_nodes, plan.num_edges
+        self.latency = np.ascontiguousarray(model.latency, dtype=np.int64)
+        self.depth = int(self.latency.max()) + 1 if num_edges else 1
+        self.marking = np.array(model.marking0, dtype=np.int64)
+        below = self.marking < 1
+        self.deficit = np.bincount(
+            plan.cons[below], minlength=num_nodes
+        ).astype(np.int64) if num_edges else np.zeros(num_nodes, dtype=np.int64)
+        self.pending = np.full(plan.num_early, -1, dtype=np.int64)
+        self.firings = np.zeros(num_nodes, dtype=np.int64)
+        self.ring_count = np.zeros(self.depth, dtype=np.int64)
+        self.ring_edges = np.zeros(self.depth * num_edges, dtype=np.int64)
+        self.queue = np.empty(plan.queue_cap, dtype=np.int64)
+        self.next_ready = np.empty(plan.ready_cap, dtype=np.int64)
+        ready0 = np.nonzero((self.deficit == 0) & (plan.early_slot < 0))[0]
+        self.next_ready[: ready0.size] = ready0
+        self.fired_cycle = np.full(num_nodes, -1, dtype=np.int64)
+        self.io = np.zeros(4, dtype=np.int64)
+        self.io[2] = ready0.size
+        self._rng = random.Random(seed)
+        self.uniforms = np.empty(
+            _UNIFORM_CHUNK if plan.num_early else 0, dtype=np.float64
+        )
+        self.u_len = 0
+        self.draws = 0  # uniforms pulled from the python Random so far
+
+    @property
+    def cycle(self) -> int:
+        return int(self.io[0])
+
+    def draws_consumed(self) -> int:
+        """Uniform draws the kernel actually used (for python RNG replay)."""
+        return self.draws - (self.u_len - int(self.io[1]))
+
+    def _refill(self) -> None:
+        cursor = int(self.io[1])
+        remaining = self.u_len - cursor
+        if remaining > 0:
+            self.uniforms[:remaining] = self.uniforms[cursor : self.u_len]
+        self.io[1] = 0
+        rng_random = self._rng.random
+        fresh = [rng_random() for _ in range(self.uniforms.size - remaining)]
+        self.uniforms[remaining:] = fresh
+        self.draws += len(fresh)
+        self.u_len = self.uniforms.size
+
+    def advance(self, cycles: int) -> None:
+        """Run ``cycles`` more cycles through the active backend."""
+        if cycles <= 0:
+            return
+        target = int(self.io[0]) + cycles
+        while int(self.io[0]) < target:
+            status = _invoke(self, target - int(self.io[0]))
+            if status == 1:
+                self._refill()
+            elif status != 0:
+                raise RuntimeError(f"simulation kernel returned status {status}")
+
+
+def _invoke(run: KernelRun, max_cycles: int) -> int:
+    plan = run.plan
+    backend = kernel_backend()
+    if backend == "numba" and _numba_kernel is not None:
+        kernel = _numba_kernel
+    elif backend == "c" and _c_kernel is not None:
+        return _invoke_c(run, max_cycles)
+    else:
+        kernel = _kernel_cycles
+    return kernel(
+        max_cycles, plan.num_nodes, plan.num_edges, plan.num_early, run.depth,
+        plan.cons, plan.in_ptr, plan.in_idx, plan.out_ptr, plan.out_idx,
+        plan.early_nodes, plan.early_slot,
+        plan.guard_ptr, plan.guard_edges, plan.guard_cumw,
+        plan.guard_total, plan.guard_hi,
+        run.latency, run.marking, run.deficit, run.pending, run.firings,
+        run.ring_count, run.ring_edges, run.queue, run.next_ready,
+        run.fired_cycle,
+        run.uniforms, run.u_len, run.io,
+    )
+
+
+def _i64_ptr(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def _f64_ptr(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def _invoke_c(run: KernelRun, max_cycles: int) -> int:
+    plan = run.plan
+    return int(
+        _c_kernel(
+            max_cycles, plan.num_nodes, plan.num_edges, plan.num_early,
+            run.depth,
+            _i64_ptr(plan.cons), _i64_ptr(plan.in_ptr), _i64_ptr(plan.in_idx),
+            _i64_ptr(plan.out_ptr), _i64_ptr(plan.out_idx),
+            _i64_ptr(plan.early_nodes), _i64_ptr(plan.early_slot),
+            _i64_ptr(plan.guard_ptr), _i64_ptr(plan.guard_edges),
+            _f64_ptr(plan.guard_cumw), _f64_ptr(plan.guard_total),
+            _i64_ptr(plan.guard_hi),
+            _i64_ptr(run.latency), _i64_ptr(run.marking),
+            _i64_ptr(run.deficit), _i64_ptr(run.pending),
+            _i64_ptr(run.firings),
+            _i64_ptr(run.ring_count), _i64_ptr(run.ring_edges),
+            _i64_ptr(run.queue), _i64_ptr(run.next_ready),
+            _i64_ptr(run.fired_cycle),
+            _f64_ptr(run.uniforms), run.u_len, _i64_ptr(run.io),
+        )
+    )
+
+
+def run_window(
+    model, seed: Optional[int], cycles: int, warmup: int
+) -> Tuple[KernelRun, List[int], float]:
+    """Run ``warmup + cycles`` cycles; return (state, window counts, Theta).
+
+    The throughput is reduced with the same python-float arithmetic as the
+    pure-python engines (per-node rate list, mean in node order), so the
+    reported double is bit-identical across backends.
+    """
+    run = KernelRun(model, seed)
+    if warmup > 0:
+        run.advance(warmup)
+    baseline = run.firings.copy()
+    run.advance(cycles)
+    window = [int(value) for value in run.firings - baseline]
+    rates = [count / cycles for count in window]
+    throughput = sum(rates) / len(rates) if rates else 0.0
+    return run, window, throughput

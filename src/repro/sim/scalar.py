@@ -19,6 +19,11 @@ Guard sampling uses the same ``random.Random``-compatible tables as compat
 mode of the vectorized engine, so a run is firing-for-firing identical to
 :class:`repro.gmg.simulation.TGMGSimulator` /
 :class:`repro.elastic.simulator.ElasticSimulator` under a shared seed.
+
+When a native kernel backend is active (see :mod:`repro.sim.kernels`),
+:meth:`ScalarSimulator.run` lowers whole runs to it and syncs the python
+state back afterwards — every backend is bit-identical, so which one ran is
+invisible in the results.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.sim import kernels as _kernels
 from repro.sim.engine import BatchRunResult, CompiledModel
 
 
@@ -38,19 +44,18 @@ class ScalarSimulator:
     def __init__(self, model: CompiledModel, seed: Optional[int] = None) -> None:
         structure = model.structure
         self._s = structure
+        self._model = model
         self._seed = seed
         self._num_nodes = structure.num_nodes
         self._num_edges = structure.num_edges
-        self._cons = [int(c) for c in structure.cons]
-        in_ptr, in_idx = structure.in_ptr, structure.in_idx
-        self._in_edges = [
-            tuple(int(e) for e in in_idx[in_ptr[n] : in_ptr[n + 1]])
-            for n in range(self._num_nodes)
-        ]
-        latency = [int(l) for l in model.latency]
-        out_lists: List[List[int]] = [[] for _ in range(self._num_nodes)]
-        for edge in range(self._num_edges):
-            out_lists[int(structure.prod[edge])].append(edge)
+        # Structure-level lists come from the shared kernel plan, so the
+        # O(V + E) numpy-scalar conversions happen once per structure, not
+        # once per candidate evaluation.
+        plan = _kernels.plan_for(structure)
+        self._cons = plan.cons_list
+        self._in_edges = plan.in_edges
+        latency = np.asarray(model.latency).tolist()
+        out_lists = plan.out_lists
         # Split each node's out-edges into combinational (latency 0) and
         # delayed (latency >= 1, paired with the latency).
         self._out_zero = [
@@ -60,14 +65,11 @@ class ScalarSimulator:
             tuple((e, latency[e]) for e in lst if latency[e] > 0) for lst in out_lists
         ]
         self._depth = max(latency) + 1 if latency else 1
-        self._marking0 = [int(m) for m in model.marking0]
+        self._marking0 = np.asarray(model.marking0).tolist()
 
-        self._is_early = [False] * self._num_nodes
-        self._early_nodes = [int(n) for n in structure.early_pos]
-        self._early_slot = [-1] * self._num_nodes
-        for slot, node in enumerate(self._early_nodes):
-            self._is_early[node] = True
-            self._early_slot[node] = slot
+        self._is_early = plan.is_early
+        self._early_nodes = plan.early_nodes_list
+        self._early_slot = plan.early_slot_list
         self._guards = structure.guards
         self.reset()
 
@@ -110,11 +112,13 @@ class ScalarSimulator:
         queue = self._next_ready
         self._next_ready = next_ready = []
 
-        # 1. Deliver tokens whose latency elapsed this cycle.
+        # 1. Deliver tokens whose latency elapsed this cycle.  The bucket is
+        # drained and reused in place: phase 3 only ever appends to *future*
+        # slots (latency >= 1), so clearing after the scan is safe and the
+        # ring never allocates after reset.
         slot = self.cycle % self._depth
         bucket = self._arrivals[slot]
         if bucket:
-            self._arrivals[slot] = []
             for edge in bucket:
                 value = marking[edge]
                 marking[edge] = value + 1
@@ -128,6 +132,7 @@ class ScalarSimulator:
                         deficit[consumer] = remaining
                         if remaining == 0:
                             queue.append(consumer)
+            bucket.clear()
 
         # 2. Early nodes without a held guard sample one, in node order (the
         #    same RNG stream as the reference simulators).
@@ -208,6 +213,8 @@ class ScalarSimulator:
         """Simulate ``warmup + cycles`` cycles; measure over the last ``cycles``."""
         if cycles <= 0:
             raise ValueError("cycles must be positive")
+        if self.cycle == 0 and _kernels.native_active():
+            return self._run_kernel(cycles, warmup)
         step = self.step
         for _ in range(warmup):
             step()
@@ -217,6 +224,43 @@ class ScalarSimulator:
         window = [now - then for now, then in zip(self.firings, baseline)]
         rates = [count / cycles for count in window]
         throughput = sum(rates) / len(rates) if rates else 0.0
+        return BatchRunResult(
+            node_names=list(self._s.node_names),
+            cycles=cycles,
+            warmup=warmup,
+            firings=np.asarray([window], dtype=np.int64),
+            throughputs=np.asarray([throughput], dtype=np.float64),
+        )
+
+    def _run_kernel(self, cycles: int, warmup: int) -> BatchRunResult:
+        """Whole-run lowering to the active native kernel (bit-identical).
+
+        The python-visible state (marking, firings, deficits, arrival ring,
+        ready list, RNG position) is synced back afterwards, so ``step()``
+        continues exactly where a pure-python run would have.
+        """
+        run, window, throughput = _kernels.run_window(
+            self._model, self._seed, cycles, warmup
+        )
+        num_edges = self._num_edges
+        self.marking = run.marking.tolist()
+        self.cycle = run.cycle
+        self.firings = run.firings.tolist()
+        self._pending = run.pending.tolist()
+        self._deficit = run.deficit.tolist()
+        self._arrivals = [
+            run.ring_edges[
+                slot * num_edges : slot * num_edges + int(run.ring_count[slot])
+            ].tolist()
+            for slot in range(self._depth)
+        ]
+        self._next_ready = run.next_ready[: int(run.io[2])].tolist()
+        # Replay the consumed prefix of the guard stream so later step()
+        # calls draw exactly what the pure-python run would have drawn.
+        rng = random.Random(self._seed)
+        for _ in range(run.draws_consumed()):
+            rng.random()
+        self._rng = rng
         return BatchRunResult(
             node_names=list(self._s.node_names),
             cycles=cycles,

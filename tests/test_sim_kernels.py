@@ -1,0 +1,252 @@
+"""Kernel backends and batched evaluation: bit-identity across every path.
+
+The pure-python :class:`ScalarSimulator` loop is the semantics oracle for
+the compiled kernels (numba / generated C); whichever backend runs, a
+simulation must be *bit*-identical — same firings, same final marking, same
+float throughput — and a run lowered to a kernel must leave the python
+state able to continue ``step()`` exactly where a pure-python run would.
+
+On top of that, ``SearchProblem.evaluate_batch`` must return bit-identical
+``Evaluation``s (and advance the shared counters identically) to the
+serial evaluate loop, on every backend, including degenerate lanes.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.search import search_minimize
+from repro.search.problem import SearchProblem
+from repro.search.state import SearchState
+from repro.sim import clear_caches
+from repro.sim import kernels
+from repro.sim.cache import compiled_template_for
+from repro.sim.scalar import ScalarSimulator
+from repro.workloads.random_rrg import large_random_rrg, random_rrg
+
+#: The pure-python fallback plus whatever the import-time probe selected
+#: (dedup'd: on a host with no compiler and no numba this is just python).
+BACKENDS = sorted({"python", kernels.kernel_backend()})
+
+
+def _identity_model(rrg, mode="tgmg"):
+    template = compiled_template_for(rrg, mode=mode)
+    state = SearchState(rrg)
+    return template.instantiate(state.token_vector(), state.buffer_vector())
+
+
+class TestBackendSelection:
+    def test_probe_reports_a_known_backend(self):
+        assert kernels.kernel_backend() in ("numba", "c", "python")
+
+    def test_info_names_the_requested_backend(self):
+        info = kernels.kernel_info()
+        assert info["backend"] == kernels.kernel_backend()
+        assert info["requested"] in ("auto", "numba", "c", "python")
+
+    def test_use_backend_forces_and_restores(self):
+        before = kernels.kernel_backend()
+        with kernels.use_backend("python"):
+            assert kernels.kernel_backend() == "python"
+            assert not kernels.native_active()
+        assert kernels.kernel_backend() == before
+
+    def test_unavailable_backend_raises(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError):
+                with kernels.use_backend("numba"):
+                    kernels.native_active()
+
+
+@pytest.mark.parametrize("mode", ["tgmg", "elastic"])
+@pytest.mark.parametrize("graph_seed", [1, 7])
+class TestKernelParity:
+    def test_run_is_bit_identical_to_python(self, mode, graph_seed):
+        rrg = random_rrg(12, 24, seed=graph_seed)
+        model = _identity_model(rrg, mode=mode)
+        with kernels.use_backend("python"):
+            ref = ScalarSimulator(model, seed=5)
+            ref_run = ref.run(cycles=200, warmup=50)
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                sim = ScalarSimulator(model, seed=5)
+                run = sim.run(cycles=200, warmup=50)
+            assert (run.firings == ref_run.firings).all(), backend
+            assert run.throughputs[0] == ref_run.throughputs[0], backend
+            assert sim.marking == ref.marking, backend
+            assert sim.firings == ref.firings, backend
+
+    def test_step_continues_exactly_after_a_lowered_run(self, mode, graph_seed):
+        rrg = random_rrg(12, 24, seed=graph_seed)
+        model = _identity_model(rrg, mode=mode)
+        with kernels.use_backend("python"):
+            ref = ScalarSimulator(model, seed=9)
+            ref.run(cycles=120, warmup=30)
+            ref_tail = [ref.step(record=True) for _ in range(40)]
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                sim = ScalarSimulator(model, seed=9)
+                sim.run(cycles=120, warmup=30)
+            # The tail steps always run in python: the kernel must have
+            # synced back marking, deficits, arrival ring, ready list and
+            # the RNG position for them to match firing-for-firing.
+            tail = [sim.step(record=True) for _ in range(40)]
+            assert tail == ref_tail, backend
+            assert sim.marking == ref.marking, backend
+            assert sim.firings == ref.firings, backend
+
+
+class TestEvaluateBatch:
+    def _candidates(self, rrg, size=14):
+        problem = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+        state = SearchState(rrg)
+        moves = problem.sample_moves(state, random.Random(3), size)
+        assert moves, "expected a non-empty move pool"
+        out = []
+        for move in moves:
+            candidate = state.copy()
+            candidate.apply(move)
+            out.append(candidate)
+        return out
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_looped_evaluate_bitwise(self, backend):
+        rrg = large_random_rrg(80, seed=5)
+        candidates = self._candidates(rrg)
+        with kernels.use_backend(backend):
+            clear_caches()
+            serial_problem = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+            serial = [serial_problem.evaluate(s) for s in candidates]
+            clear_caches()
+            batch_problem = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+            batch = batch_problem.evaluate_batch(candidates)
+        for left, right in zip(serial, batch):
+            assert left.cycle_time == right.cycle_time
+            assert left.throughput == right.throughput
+        assert batch_problem.evaluations == serial_problem.evaluations
+        assert batch_problem.simulations == serial_problem.simulations
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bounded_matches_looped_evaluate_bounded(self, backend):
+        rrg = large_random_rrg(80, seed=5)
+        candidates = self._candidates(rrg)
+        with kernels.use_backend(backend):
+            clear_caches()
+            reference = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+            threshold = reference.evaluate(SearchState(rrg)).effective_cycle_time
+            clear_caches()
+            serial_problem = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+            serial = [
+                serial_problem.evaluate_bounded(s, threshold)
+                for s in candidates
+            ]
+            clear_caches()
+            batch_problem = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+            batch = batch_problem.evaluate_batch(candidates, threshold=threshold)
+        assert any(entry is None for entry in serial), "filters never fired"
+        for left, right in zip(serial, batch):
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert left.cycle_time == right.cycle_time
+                assert left.throughput == right.throughput
+        for counter in (
+            "evaluations", "simulations", "pruned_tau", "pruned_lp",
+            "lp_solves",
+        ):
+            assert getattr(batch_problem, counter) == getattr(
+                serial_problem, counter
+            ), counter
+
+    def test_results_are_backend_independent(self):
+        rrg = large_random_rrg(80, seed=5)
+        candidates = self._candidates(rrg)
+        outcomes = []
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                clear_caches()
+                problem = SearchProblem(rrg, cycles=96, warmup=24, seed=1)
+                outcomes.append([
+                    (e.cycle_time, e.throughput)
+                    for e in problem.evaluate_batch(candidates)
+                ])
+        for other in outcomes[1:]:
+            assert other == outcomes[0]
+
+    def test_duplicate_lanes_simulate_once(self):
+        rrg = large_random_rrg(60, seed=3)
+        candidates = self._candidates(rrg, size=6)
+        clear_caches()
+        problem = SearchProblem(rrg, cycles=64, warmup=16, seed=1)
+        doubled = candidates + [c.copy() for c in candidates]
+        results = problem.evaluate_batch(doubled)
+        assert problem.evaluations == len(doubled)
+        assert problem.simulations == len(candidates)
+        half = len(candidates)
+        for left, right in zip(results[:half], results[half:]):
+            assert left.cycle_time == right.cycle_time
+            assert left.throughput == right.throughput
+
+    def test_infeasible_lane_evaluates_to_inf(self):
+        rrg = large_random_rrg(60, seed=3)
+        healthy = SearchState(rrg)
+        deadlocked = healthy.copy()
+        deadlocked.buffers = [0] * len(deadlocked.buffers)
+        results = SearchProblem(
+            rrg, cycles=64, warmup=16, seed=1
+        ).evaluate_batch([healthy, deadlocked])
+        assert math.isfinite(results[0].cycle_time)
+        assert math.isinf(results[1].cycle_time)
+        assert results[1].effective_cycle_time == math.inf
+
+    def test_infeasible_lane_is_pruned_under_a_threshold(self):
+        rrg = large_random_rrg(60, seed=3)
+        healthy = SearchState(rrg)
+        deadlocked = healthy.copy()
+        deadlocked.buffers = [0] * len(deadlocked.buffers)
+        problem = SearchProblem(rrg, cycles=64, warmup=16, seed=1)
+        threshold = problem.evaluate(healthy).effective_cycle_time + 1.0
+        results = problem.evaluate_batch(
+            [deadlocked, healthy], threshold=threshold
+        )
+        assert results[0] is None
+        assert results[1] is not None
+        assert problem.pruned_tau >= 1
+
+    def test_zero_buffer_state_without_a_cycle_is_a_normal_lane(self):
+        # figure-style feed-forward edges can legally hold zero buffers;
+        # only a zero-buffer *cycle* is infeasible.
+        rrg = large_random_rrg(60, seed=3)
+        state = SearchState(rrg)
+        [result] = SearchProblem(
+            rrg, cycles=64, warmup=16, seed=1
+        ).evaluate_batch([state])
+        assert math.isfinite(result.cycle_time)
+        assert result.throughput > 0
+
+
+class TestPortfolioDeterminismAcrossBackends:
+    def test_same_seed_same_incumbent_on_every_backend(self):
+        rrg = large_random_rrg(200, seed=9)
+        outcomes = []
+        for backend in BACKENDS:
+            with kernels.use_backend(backend):
+                clear_caches()
+                result = search_minimize(
+                    rrg, time_budget=2.0, seed=4, include_milp=False
+                )
+                assert result.kernel_backend == backend
+                outcomes.append(result)
+        first = outcomes[0]
+        for other in outcomes[1:]:
+            assert other.best.effective_cycle_time == (
+                first.best.effective_cycle_time
+            )
+            assert other.best.configuration.same_assignment(
+                first.best.configuration
+            )
+            assert other.history == first.history
+            assert other.evaluations == first.evaluations
+            assert other.evaluation_budget == first.evaluation_budget
