@@ -278,9 +278,23 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import serve
-
     try:
+        if args.workers > 1:
+            from repro.service.fleet import serve_fleet
+
+            return serve_fleet(
+                host=args.host,
+                port=args.port,
+                store=args.store,
+                workers=args.workers,
+                shards=args.shards,
+                queue_limit=args.queue_limit,
+                quiet=args.quiet,
+            )
+        # --workers 1 is the unchanged single-process server: same code
+        # path as before fleet mode existed, byte-identical behavior.
+        from repro.service.server import serve
+
         return serve(
             host=args.host,
             port=args.port,
@@ -455,6 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes per pipeline run (default 1)")
     srv.add_argument("--queue-limit", type=int, default=32,
                      help="max queued requests before 429 (default 32)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="worker processes; >1 starts a fleet: a router on "
+                          "--port sharding requests across N single-process "
+                          "servers by result fingerprint (default 1)")
     srv.add_argument("--quiet", action="store_true",
                      help="suppress service log lines")
     srv.set_defaults(func=cmd_serve)

@@ -19,7 +19,12 @@ service:
   (``submit`` / ``status`` / ``result`` / ``stats``) with graceful
   SIGINT/SIGTERM draining;
 * :mod:`repro.service.client` — sync and async clients (used by
-  ``python -m repro submit``).
+  ``python -m repro submit``);
+* :mod:`repro.service.fleet` — multi-process scale-out: a router that
+  shards requests across N worker processes by result fingerprint over a
+  consistent-hash ring (:mod:`repro.service.ring`), with worker health
+  scoring, draining and bounded respawn (``python -m repro serve
+  --workers N``).
 
 Quickstart::
 
@@ -45,6 +50,13 @@ from repro.service.client import (
     ServiceBusy,
     ServiceClient,
     ServiceError,
+    WorkerLost,
+)
+from repro.service.fleet import (
+    FleetRouter,
+    FleetSupervisor,
+    FleetThread,
+    serve_fleet,
 )
 from repro.service.protocol import (
     PreparedRequest,
@@ -53,11 +65,16 @@ from repro.service.protocol import (
     ShuttingDownError,
     prepare_request,
 )
+from repro.service.ring import HashRing
 from repro.service.server import ServerThread, ServiceServer, serve
 
 __all__ = [
     "AsyncServiceClient",
     "Broker",
+    "FleetRouter",
+    "FleetSupervisor",
+    "FleetThread",
+    "HashRing",
     "PreparedRequest",
     "QueueFullError",
     "RequestError",
@@ -69,6 +86,8 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "ShuttingDownError",
+    "WorkerLost",
     "prepare_request",
     "serve",
+    "serve_fleet",
 ]

@@ -19,7 +19,12 @@ including injected ``connection`` faults — retry with jittered backoff;
 re-submitting after a dropped response is safe because identical requests
 coalesce server-side), ``wait`` polls on the policy's growing backoff
 schedule instead of a fixed busy interval, and ``submit_and_wait`` honors
-the server's ``retry_after`` hint when shed with a 429.
+the server's ``retry_after`` hint when shed with a 429 — and equally on a
+503 that carries one (a fleet router whose shard owner is draining or
+respawning: the service is coming back, not going away).  When a router
+reports the worker owning an in-flight request died (:class:`WorkerLost`),
+``submit_and_wait`` re-submits the idempotent, cache-addressed body instead
+of surfacing the error.
 """
 
 from __future__ import annotations
@@ -66,6 +71,16 @@ class ServiceBusy(ServiceError):
         self.retry_after = retry_after
 
 
+class WorkerLost(ServiceBusy):
+    """A fleet router reports the worker owning this request died.
+
+    The worker's in-memory record is gone, but submits are idempotent
+    (cache-addressed, coalesced): re-submitting the same body recovers the
+    request on whichever worker now owns its shard.  ``submit_and_wait``
+    does this automatically.
+    """
+
+
 class RequestFailed(ServiceError):
     """The request executed and failed server-side."""
 
@@ -86,14 +101,28 @@ def _run_body(
 def _raise_for(status: int, payload: Any) -> None:
     message = ""
     retry_after: Optional[float] = None
+    lost = False
     if isinstance(payload, Mapping):
         message = str(payload.get("error", ""))
         hint = payload.get("retry_after")
         if isinstance(hint, (int, float)) and hint > 0:
             retry_after = float(hint)
+        lost = bool(payload.get("lost"))
     if status in (429, 503):
+        if lost:
+            raise WorkerLost(status, message or "worker lost", retry_after)
         raise ServiceBusy(status, message or "service busy", retry_after)
     raise ServiceError(status, message or "request rejected")
+
+
+def _busy_is_retryable(exc: ServiceBusy) -> bool:
+    """Shed submits worth retrying: 429 always (the queue drains), 503 only
+    when the server volunteered a ``retry_after`` (a fleet router covering a
+    draining/respawning worker — a bare 503 means the whole service is going
+    away for good and retrying would just delay the error)."""
+    return exc.status == 429 or (
+        exc.status == 503 and exc.retry_after is not None
+    )
 
 
 class ServiceClient:
@@ -234,32 +263,51 @@ class ServiceClient:
         timeout: Optional[float] = None,
         on_event: Optional[OnEvent] = None,
     ) -> Dict[str, Any]:
-        """Submit with 429 backoff, then wait for the result.
+        """Submit with backpressure backoff, then wait for the result.
 
-        A shed submit (429) retries up to the policy's attempt count,
-        sleeping the server's ``retry_after`` hint when one came back (the
-        server knows its own backlog) and the policy's jittered backoff
-        otherwise.  503 (draining) is not retried — the service is going
-        away, not busy.
+        A shed submit retries up to the policy's attempt count, sleeping the
+        server's ``retry_after`` hint when one came back (the server knows
+        its own backlog) and the policy's jittered backoff otherwise.  This
+        covers 429 (queue full) and 503s that carry a hint (a fleet router
+        whose shard owner is draining or respawning); a bare 503 — the whole
+        service going away — is not retried.
+
+        If the wait ends with :class:`WorkerLost` (a fleet worker died with
+        the request in flight), the idempotent body is re-submitted: the
+        router routes it to the shard's new owner and nothing is dropped.
         """
-        record = None
-        for attempt in range(self.retry.attempts):
+        for round_ in range(self.retry.attempts):
+            record = None
+            for attempt in range(self.retry.attempts):
+                try:
+                    record = self.submit(body)
+                    break
+                except ServiceBusy as exc:
+                    if (not _busy_is_retryable(exc)
+                            or attempt == self.retry.attempts - 1):
+                        raise
+                    pause = (
+                        exc.retry_after
+                        if exc.retry_after is not None
+                        else self.retry.delay(attempt, salt="submit-busy")
+                    )
+                    time.sleep(pause)
+            assert record is not None
             try:
-                record = self.submit(body)
-                break
-            except ServiceBusy as exc:
-                if exc.status != 429 or attempt == self.retry.attempts - 1:
+                if record.get("status") == "done":
+                    return self.result(record["id"])
+                return self.wait(record["id"], timeout=timeout,
+                                 on_event=on_event)
+            except WorkerLost as exc:
+                if round_ == self.retry.attempts - 1:
                     raise
                 pause = (
                     exc.retry_after
                     if exc.retry_after is not None
-                    else self.retry.delay(attempt, salt="submit-busy")
+                    else self.retry.delay(round_, salt="worker-lost")
                 )
                 time.sleep(pause)
-        assert record is not None
-        if record.get("status") == "done":
-            return self.result(record["id"])
-        return self.wait(record["id"], timeout=timeout, on_event=on_event)
+        raise RuntimeError("resubmit loop fell through")  # pragma: no cover
 
     def wait_until_healthy(self, timeout: float = 30.0) -> None:
         deadline = time.monotonic() + timeout
@@ -420,21 +468,35 @@ class AsyncServiceClient:
         timeout: Optional[float] = None,
         on_event: Optional[OnEvent] = None,
     ) -> Dict[str, Any]:
-        record = None
-        for attempt in range(self.retry.attempts):
+        for round_ in range(self.retry.attempts):
+            record = None
+            for attempt in range(self.retry.attempts):
+                try:
+                    record = await self.submit(body)
+                    break
+                except ServiceBusy as exc:
+                    if (not _busy_is_retryable(exc)
+                            or attempt == self.retry.attempts - 1):
+                        raise
+                    pause = (
+                        exc.retry_after
+                        if exc.retry_after is not None
+                        else self.retry.delay(attempt, salt="submit-busy")
+                    )
+                    await asyncio.sleep(pause)
+            assert record is not None
             try:
-                record = await self.submit(body)
-                break
-            except ServiceBusy as exc:
-                if exc.status != 429 or attempt == self.retry.attempts - 1:
+                if record.get("status") == "done":
+                    return await self.result(record["id"])
+                return await self.wait(record["id"], timeout=timeout,
+                                       on_event=on_event)
+            except WorkerLost as exc:
+                if round_ == self.retry.attempts - 1:
                     raise
                 pause = (
                     exc.retry_after
                     if exc.retry_after is not None
-                    else self.retry.delay(attempt, salt="submit-busy")
+                    else self.retry.delay(round_, salt="worker-lost")
                 )
                 await asyncio.sleep(pause)
-        assert record is not None
-        if record.get("status") == "done":
-            return await self.result(record["id"])
-        return await self.wait(record["id"], timeout=timeout, on_event=on_event)
+        raise RuntimeError("resubmit loop fell through")  # pragma: no cover

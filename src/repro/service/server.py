@@ -53,6 +53,68 @@ _REASONS = {
 MAX_BODY_BYTES = 1 << 20
 
 
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Any]]:
+    """Read one HTTP/1.1 request; returns (method, path, parsed JSON body).
+
+    Shared by the single-process server and the fleet router (both speak
+    the same tiny close-delimited JSON dialect).  Oversized or malformed
+    bodies come back as ``{"__oversized__"|"__malformed__": True}`` markers
+    so the caller can answer 400 instead of resetting the connection.
+    """
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    try:
+        method, path, _ = request_line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        return None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    if length > MAX_BODY_BYTES:
+        # Drain (and discard) the body so the 400 reaches the client
+        # instead of a connection reset from closing with bytes unread.
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        return method.upper(), path, {"__oversized__": True}
+    raw = await reader.readexactly(length) if length else b""
+    body: Any = None
+    if raw:
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            body = {"__malformed__": True}
+    return method.upper(), path, body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, status: int, payload: Any
+) -> None:
+    """Write one JSON response and flush (connection-close framing)."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
 class ServiceServer:
     """One service instance: a broker behind an HTTP listener."""
 
@@ -170,54 +232,12 @@ class ServiceServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, Any]]:
-        request_line = await reader.readline()
-        if not request_line.strip():
-            return None
-        try:
-            method, path, _ = request_line.decode("latin-1").split(" ", 2)
-        except ValueError:
-            return None
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
-        if length > MAX_BODY_BYTES:
-            # Drain (and discard) the body so the 400 reaches the client
-            # instead of a connection reset from closing with bytes unread.
-            remaining = length
-            while remaining > 0:
-                chunk = await reader.read(min(65536, remaining))
-                if not chunk:
-                    break
-                remaining -= len(chunk)
-            return method.upper(), path, {"__oversized__": True}
-        raw = await reader.readexactly(length) if length else b""
-        body: Any = None
-        if raw:
-            try:
-                body = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError):
-                body = {"__malformed__": True}
-        return method.upper(), path, body
+        return await read_request(reader)
 
     async def _respond(
         self, writer: asyncio.StreamWriter, status: int, payload: Any
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        reason = _REASONS.get(status, "OK")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1") + body)
-        await writer.drain()
+        await write_response(writer, status, payload)
 
     async def _route(
         self, method: str, path: str, body: Any

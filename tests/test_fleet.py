@@ -1,0 +1,301 @@
+"""Tests for fleet mode (repro.service.fleet + repro.service.ring).
+
+Covers the consistent-hash ring (deterministic construction, stability,
+bounded key movement), the clients' worker-lost resubmit and
+503-with-hint retry behavior, and a live two-worker fleet end to end:
+sharded routing matches the ring prediction, results are identical to the
+direct pipeline run, a killed worker's requests complete via re-route while
+the worker respawns, and draining restarts a worker without spending its
+respawn budget.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.presets import RunOptions, run_preset
+from repro.resilience.retry import RetryPolicy
+from repro.service import (
+    FleetThread,
+    HashRing,
+    ServiceBusy,
+    ServiceClient,
+    WorkerLost,
+    prepare_request,
+)
+from repro.service.client import AsyncServiceClient
+from repro.service.fleet import DRAINING, LIVE
+
+RUN_BODY = {
+    "kind": "run",
+    "target": "figure1a",
+    "options": {"params": {"alpha": 0.9}, "cycles": 600, "epsilon": 0.2},
+}
+
+KEYS = [f"key-{index}" for index in range(2000)]
+
+
+class TestHashRing:
+    def test_construction_is_deterministic(self):
+        forward = HashRing(["w0", "w1", "w2"])
+        shuffled = HashRing(["w2", "w0", "w1"])
+        assert forward.members == shuffled.members == ("w0", "w1", "w2")
+        assert [forward.route(key) for key in KEYS[:300]] == [
+            shuffled.route(key) for key in KEYS[:300]
+        ]
+
+    def test_same_key_same_member_with_failover_chain(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in KEYS[:100]:
+            owner = ring.route(key)
+            assert ring.route(key) == owner  # stable
+            chain = list(ring.chain(key))
+            assert chain[0] == owner
+            assert sorted(chain) == ["w0", "w1", "w2"]  # each exactly once
+            fallback = ring.route(key, exclude=[owner])
+            assert fallback == chain[1] != owner
+
+    def test_remove_moves_only_the_departed_shard(self):
+        ring = HashRing([f"w{index}" for index in range(4)])
+        before = {key: ring.route(key) for key in KEYS}
+        departed = sum(1 for owner in before.values() if owner == "w2")
+        ring.remove("w2")
+        for key in KEYS:
+            if before[key] != "w2":
+                # Keys on surviving members never move.
+                assert ring.route(key) == before[key]
+            else:
+                assert ring.route(key) != "w2"
+        # The moved fraction is the departed member's share: ~1/4, not a
+        # reshuffle of everything.
+        assert departed <= len(KEYS) * 0.45
+
+    def test_add_moves_a_bounded_fraction(self):
+        ring = HashRing([f"w{index}" for index in range(4)])
+        before = {key: ring.route(key) for key in KEYS}
+        ring.add("w4")
+        moved = [key for key in KEYS if ring.route(key) != before[key]]
+        # Every moved key moved TO the new member (nothing reshuffled
+        # between the old members), and only ~1/5 of the space moved.
+        assert all(ring.route(key) == "w4" for key in moved)
+        assert 0 < len(moved) <= len(KEYS) * 0.45
+
+    def test_shares_are_roughly_balanced(self):
+        ring = HashRing([f"w{index}" for index in range(4)])
+        shares = ring.shares(KEYS)
+        assert sum(shares.values()) == len(KEYS)
+        for member, count in shares.items():
+            # 64 virtual points keep every shard within a loose band of
+            # the 25% ideal.
+            assert len(KEYS) * 0.08 <= count <= len(KEYS) * 0.50, (
+                member, count,
+            )
+
+    def test_empty_and_exhausted_rings_raise(self):
+        with pytest.raises(LookupError):
+            HashRing().route("anything")
+        ring = HashRing(["w0", "w1"])
+        with pytest.raises(LookupError):
+            ring.route("key", exclude=["w0", "w1"])
+        ring.remove("w0")
+        ring.remove("w0")  # idempotent
+        assert ring.members == ("w1",)
+
+
+def _fast_retry() -> RetryPolicy:
+    return RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+class TestClientReroute:
+    def test_worker_lost_triggers_resubmit(self):
+        client = ServiceClient(port=1, retry=_fast_retry())
+        calls = {"submit": 0, "wait": 0}
+
+        def fake_submit(body):
+            calls["submit"] += 1
+            return {"id": f"req-{calls['submit']}", "status": "queued"}
+
+        def fake_wait(request_id, timeout=None, on_event=None):
+            calls["wait"] += 1
+            if calls["wait"] == 1:
+                raise WorkerLost(503, "worker lost", retry_after=0.0)
+            return {"id": request_id, "status": "done", "result": 42}
+
+        client.submit = fake_submit
+        client.wait = fake_wait
+        document = client.submit_and_wait(dict(RUN_BODY))
+        assert document["status"] == "done"
+        assert calls["submit"] == 2  # the lost round re-submitted the body
+
+    def test_worker_lost_eventually_surfaces(self):
+        client = ServiceClient(port=1, retry=_fast_retry())
+        client.submit = lambda body: {"id": "req", "status": "queued"}
+
+        def always_lost(request_id, timeout=None, on_event=None):
+            raise WorkerLost(503, "worker lost", retry_after=0.0)
+
+        client.wait = always_lost
+        with pytest.raises(WorkerLost):
+            client.submit_and_wait(dict(RUN_BODY))
+
+    def test_shed_submit_retries_503_with_hint(self):
+        client = ServiceClient(port=1, retry=_fast_retry())
+        attempts = []
+
+        def fake_submit(body):
+            attempts.append(1)
+            if len(attempts) < 3:
+                # A fleet router covering a respawning worker volunteers a
+                # retry_after hint; the client must treat it like a 429.
+                raise ServiceBusy(503, "fleet healing", retry_after=0.0)
+            return {"id": "req", "status": "done"}
+
+        client.submit = fake_submit
+        client.result = lambda rid: {"id": rid, "status": "done",
+                                     "result": 7}
+        document = client.submit_and_wait(dict(RUN_BODY))
+        assert document["result"] == 7
+        assert len(attempts) == 3
+
+    def test_bare_503_is_not_retried(self):
+        client = ServiceClient(port=1, retry=_fast_retry())
+        attempts = []
+
+        def fake_submit(body):
+            attempts.append(1)
+            raise ServiceBusy(503, "shutting down", retry_after=None)
+
+        client.submit = fake_submit
+        with pytest.raises(ServiceBusy):
+            client.submit_and_wait(dict(RUN_BODY))
+        assert len(attempts) == 1  # going away for good: fail fast
+
+    def test_async_worker_lost_triggers_resubmit(self):
+        client = AsyncServiceClient(port=1, retry=_fast_retry())
+        calls = {"submit": 0, "wait": 0}
+
+        async def fake_submit(body):
+            calls["submit"] += 1
+            return {"id": f"req-{calls['submit']}", "status": "queued"}
+
+        async def fake_wait(request_id, timeout=None, on_event=None):
+            calls["wait"] += 1
+            if calls["wait"] == 1:
+                raise WorkerLost(503, "worker lost", retry_after=0.0)
+            return {"id": request_id, "status": "done", "result": 42}
+
+        client.submit = fake_submit
+        client.wait = fake_wait
+        document = asyncio.run(client.submit_and_wait(dict(RUN_BODY)))
+        assert document["status"] == "done"
+        assert calls["submit"] == 2
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("fleet-store"))
+    with FleetThread(workers=2, store=store, queue_limit=16) as running:
+        running.wait_live(timeout=90)
+        client = ServiceClient(port=running.port, timeout=120)
+        yield running, client
+
+
+class TestFleetEndToEnd:
+    def test_routing_is_deterministic_and_result_identical(self, fleet):
+        running, client = fleet
+        document = client.submit_and_wait(RUN_BODY, timeout=120)
+        assert document["status"] == "done"
+        direct = run_preset(
+            "figure1a", RunOptions.from_mapping(RUN_BODY["options"])
+        )
+        assert document["result"] == direct
+        # The router must have sent the request to the worker the ring
+        # names for its cache key — computable by anyone from worker names.
+        expected = HashRing(["worker-0", "worker-1"]).route(
+            prepare_request(RUN_BODY).key
+        )
+        routed = client.stats()["router"]["routed_by_worker"]
+        assert routed[expected] >= 1
+        other = "worker-1" if expected == "worker-0" else "worker-0"
+        assert routed[other] == 0
+
+    def test_repeat_lands_on_same_worker_and_hits_its_cache(self, fleet):
+        running, client = fleet
+        expected = HashRing(["worker-0", "worker-1"]).route(
+            prepare_request(RUN_BODY).key
+        )
+        before = client.stats()["router"]["routed_by_worker"]
+        document = client.submit_and_wait(RUN_BODY, timeout=30)
+        after = client.stats()["router"]["routed_by_worker"]
+        # Same fingerprint, same worker — that worker's L1 answers.
+        assert after[expected] == before[expected] + 1
+        assert document["cached"] in ("memory", "store")
+
+    def test_stats_aggregate_and_expose_drain_rate(self, fleet):
+        running, client = fleet
+        stats = client.stats()
+        assert stats["fleet"] is True and stats["workers"] == 2
+        assert stats["requests"]["completed"] >= 1
+        for name in ("worker-0", "worker-1"):
+            worker = stats["per_worker"][name]
+            assert worker["state"] == LIVE
+            queue = worker["stats"]["queue"]
+            # Satellite: the broker's drain-rate EMA is visible wherever
+            # its queue depth is — the router scores workers from these.
+            assert "ema_request_seconds" in queue
+            assert "drain_rate_rps" in queue
+        assert client.healthy()
+
+    def test_killed_worker_drops_no_requests(self, fleet):
+        running, client = fleet
+        body = {
+            "kind": "run", "target": "figure1a",
+            "options": {"params": {"alpha": 0.55}, "cycles": 500,
+                        "epsilon": 0.2},
+        }
+        record = client.submit(body)
+        owner = record["worker"]
+        handle = running.router.workers[owner]
+        os.kill(handle.pid, signal.SIGKILL)
+        # Polling the dead owner's id surfaces WorkerLost to raw callers...
+        with pytest.raises(WorkerLost):
+            for _ in range(100):
+                client.status(record["id"])
+                time.sleep(0.05)
+        # ...and submit_and_wait absorbs it by re-submitting: the ring
+        # successor (or the respawned owner) serves the request.
+        document = client.submit_and_wait(body, timeout=120)
+        assert document["status"] == "done"
+        counters = running.router.counters
+        assert counters["worker_deaths"] >= 1
+        assert counters["respawns"] >= 1
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and handle.state != LIVE:
+            time.sleep(0.1)
+        assert handle.state == LIVE  # respawned within budget
+        assert handle.respawns >= 1
+
+    def test_drain_restarts_without_spending_respawn_budget(self, fleet):
+        running, client = fleet
+        running.wait_live(timeout=60)
+        target = "worker-0"
+        handle = running.router.workers[target]
+        respawns_before = handle.respawns
+        reply = client._request(
+            "POST", "/fleet/drain", {"worker": target}
+        )
+        assert reply["state"] in (DRAINING, LIVE)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not (
+            handle.state == LIVE and handle.restarts >= 1
+        ):
+            time.sleep(0.1)
+        assert handle.state == LIVE
+        assert handle.restarts >= 1  # planned restart...
+        assert handle.respawns == respawns_before  # ...off the budget
+        # The fleet still serves after the restart cycle.
+        document = client.submit_and_wait(RUN_BODY, timeout=60)
+        assert document["status"] == "done"

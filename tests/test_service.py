@@ -509,6 +509,16 @@ class TestHttpEndToEnd:
         assert stats["queue"]["limit"] == 8
         assert stats["requests"]["submitted"] >= 1
         assert stats["cache"]["l1"]["maxsize"] == 256
+        # The drain-rate estimate behind the 429 retry_after hint (and the
+        # fleet router's health score) is published, not private: after at
+        # least one completed request the EMA and its rps reciprocal exist.
+        queue = stats["queue"]
+        assert "ema_request_seconds" in queue
+        assert "drain_rate_rps" in queue
+        if queue["ema_request_seconds"]:
+            assert queue["drain_rate_rps"] == pytest.approx(
+                1.0 / queue["ema_request_seconds"], rel=0.01
+            )
 
 
 class TestServiceBusySurface:
