@@ -79,6 +79,25 @@ _RELAY_ERRORS = (
 #: Consecutive failed health probes before a live worker is declared dead.
 _PROBE_FAILURES = 3
 
+#: Seconds a STARTING worker may stay unresponsive before it is treated as
+#: dead and respawned — a process that is alive but hung at boot must not
+#: leave its shard silently degraded forever.
+_BOOT_DEADLINE = 30.0
+
+#: Seconds a DRAINING worker may keep running after its drain began.  A
+#: draining worker closes its listener before publishing in-flight work, so
+#: failed probes are the *expected* shape of a drain, not a death; only an
+#: overrun deadline forces the issue.
+_DRAIN_DEADLINE = 120.0
+
+#: A worker death this soon after spawn is most likely the bind-and-release
+#: port race in :func:`_free_port` (another process grabbed the port between
+#: release and the worker's bind), not a worker bug: respawn on a fresh port
+#: without charging the unplanned-death budget.  Bounded by its own counter
+#: so a worker that always crashes at boot still fails permanently.
+_EARLY_DEATH_GRACE = 2.0
+_EARLY_DEATH_RESPAWNS = 10
+
 
 def _free_port(host: str) -> int:
     """An OS-assigned free TCP port on ``host`` (bind-and-release)."""
@@ -98,10 +117,12 @@ class WorkerHandle:
         self.process: Optional[subprocess.Popen] = None
         self.respawns = 0          # unplanned (budgeted) respawns
         self.restarts = 0          # planned drain/restart cycles
+        self.early_deaths = 0      # bind-race deaths (unbudgeted respawns)
         self.consecutive_failures = 0
         self.score: Optional[float] = None  # queue depth x drain EMA
         self.stats: Optional[Dict[str, Any]] = None
         self.spawned_at: Optional[float] = None
+        self.draining_since: Optional[float] = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -118,6 +139,7 @@ class WorkerHandle:
             "score": self.score,
             "respawns": self.respawns,
             "restarts": self.restarts,
+            "early_deaths": self.early_deaths,
         }
 
 
@@ -196,6 +218,7 @@ class FleetSupervisor:
         handle.score = None
         handle.stats = None
         handle.spawned_at = time.monotonic()
+        handle.draining_since = None
 
     def spawn_all(self) -> None:
         for handle in self.handles.values():
@@ -371,53 +394,112 @@ class FleetRouter:
         """
         while True:
             await asyncio.sleep(self.health_interval)
-            for handle in self.workers.values():
-                if handle.state == DEAD:
-                    continue  # respawn budget exhausted: permanent
-                if not handle.alive():
-                    if handle.state == DRAINING:
-                        # Planned exit: restart outside the respawn budget.
-                        handle.restarts += 1
-                        self.supervisor.spawn(handle)
-                    else:
-                        self._mark_dead(handle)
-                    continue
-                try:
-                    status, payload = await self._relay(
-                        handle, "GET", "/stats", None, timeout=5
-                    )
-                except _RELAY_ERRORS:
-                    if handle.state == STARTING:
-                        continue  # still booting; the process is alive
-                    handle.consecutive_failures += 1
-                    if handle.consecutive_failures >= _PROBE_FAILURES:
-                        self._mark_dead(handle)
-                    continue
-                if status != 200 or not isinstance(payload, dict):
-                    continue
-                handle.consecutive_failures = 0
-                queue = payload.get("queue") or {}
-                depth = queue.get("depth") or 0
-                ema = queue.get("ema_request_seconds") or 1.0
-                handle.score = round(float(depth) * float(ema), 6)
-                handle.stats = payload
+            try:
+                await self._health_tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — one bad probe must
+                # never kill the loop: a dead health task would leave
+                # workers unpromoted and unhealed forever.
+                self._log(
+                    f"fleet: health tick error "
+                    f"({type(exc).__name__}: {exc}); continuing"
+                )
+
+    async def _health_tick(self) -> None:
+        for handle in self.workers.values():
+            if handle.state == DEAD:
+                continue  # respawn budget exhausted: permanent
+            if not handle.alive():
+                if handle.state == DRAINING:
+                    # Planned exit: restart outside the respawn budget.
+                    handle.restarts += 1
+                    self.supervisor.spawn(handle)
+                else:
+                    self._mark_dead(handle)
+                continue
+            try:
+                status, payload = await self._relay(
+                    handle, "GET", "/stats", None, timeout=5
+                )
+            except _RELAY_ERRORS:
+                now = time.monotonic()
                 if handle.state == STARTING:
-                    handle.state = LIVE
-                    self._log(
-                        f"fleet: {handle.name} live on port {handle.port}"
-                    )
-                elif handle.state == LIVE and payload.get("accepting") is False:
-                    # The worker began its own drain (direct SIGTERM).
-                    handle.state = DRAINING
+                    # Still booting; the process is alive — but not
+                    # forever: a worker hung at boot is respawned.
+                    if (
+                        handle.spawned_at is not None
+                        and now - handle.spawned_at > _BOOT_DEADLINE
+                    ):
+                        self._mark_dead(handle)
+                    continue
+                if handle.state == DRAINING:
+                    # A draining worker closes its listener before
+                    # publishing in-flight work: failed probes are
+                    # expected.  Killing it here would discard the very
+                    # work the drain is preserving, so only an overrun
+                    # drain deadline forces the issue.
+                    if (
+                        handle.draining_since is not None
+                        and now - handle.draining_since > _DRAIN_DEADLINE
+                    ):
+                        self._mark_dead(handle)
+                    continue
+                handle.consecutive_failures += 1
+                if handle.consecutive_failures >= _PROBE_FAILURES:
+                    self._mark_dead(handle)
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            handle.consecutive_failures = 0
+            queue = payload.get("queue") or {}
+            depth = queue.get("depth") or 0
+            ema = queue.get("ema_request_seconds") or 1.0
+            handle.score = round(float(depth) * float(ema), 6)
+            handle.stats = payload
+            if handle.state == STARTING:
+                handle.state = LIVE
+                self._log(
+                    f"fleet: {handle.name} live on port {handle.port}"
+                )
+            elif handle.state == LIVE and payload.get("accepting") is False:
+                # The worker began its own drain (direct SIGTERM).
+                self._note_draining(handle)
+
+    def _note_draining(self, handle: WorkerHandle) -> None:
+        """Transition a handle to DRAINING, stamping the drain deadline."""
+        if handle.state != DRAINING:
+            handle.state = DRAINING
+            handle.draining_since = time.monotonic()
 
     def _mark_dead(self, handle: WorkerHandle) -> None:
         """Unplanned death: fail the shard over and respawn within budget."""
         if handle.state == DEAD:
             return
+        early_exit = (
+            not handle.alive()
+            and handle.state == STARTING
+            and handle.spawned_at is not None
+            and time.monotonic() - handle.spawned_at <= _EARLY_DEATH_GRACE
+        )
         if handle.alive():
             handle.process.kill()
         handle.state = DEAD
         self.counters["worker_deaths"] += 1
+        if early_exit and handle.early_deaths < _EARLY_DEATH_RESPAWNS:
+            # Probable _free_port bind race: the port was taken between
+            # release and the worker's bind.  A fresh port fixes it, and
+            # the race is not the worker's fault, so it doesn't spend the
+            # unplanned-death budget.
+            handle.early_deaths += 1
+            self.counters["respawns"] += 1
+            self._log(
+                f"fleet: {handle.name} exited at boot (likely port race); "
+                f"respawning on a fresh port "
+                f"({handle.early_deaths}/{_EARLY_DEATH_RESPAWNS} early exits)"
+            )
+            self.supervisor.spawn(handle)
+            return
         if handle.respawns < self.supervisor.max_respawns:
             handle.respawns += 1
             self.counters["respawns"] += 1
@@ -529,6 +611,12 @@ class FleetRouter:
                 await writer.drain()
                 status_line = await reader.readline()
                 parts = status_line.decode("latin-1").split(" ", 2)
+                if len(parts) < 2:
+                    # EOF (b"") or a truncated line from a worker that died
+                    # after accepting the connection.
+                    raise ConnectionError(
+                        f"truncated status line from worker: {status_line!r}"
+                    )
                 status = int(parts[1])
                 length = 0
                 while True:
@@ -591,7 +679,7 @@ class FleetRouter:
                 # The worker began draining before the health loop noticed;
                 # its keys spill to the ring successor until it returns.
                 if handle.state == LIVE:
-                    handle.state = DRAINING
+                    self._note_draining(handle)
                 continue
             self.counters["routed"] += 1
             if name != primary:
@@ -738,7 +826,7 @@ class FleetRouter:
             return 404, {"error": f"unknown worker {name!r}"}
         if handle.state in (DRAINING, DEAD):
             return 200, {"ok": True, "worker": name, "state": handle.state}
-        handle.state = DRAINING
+        self._note_draining(handle)
         self.counters["drains"] += 1
         # Ask the worker to drain and exit; the health loop restarts it
         # (planned, so outside the respawn budget) once the process is gone.
@@ -751,8 +839,14 @@ class FleetRouter:
 
 async def _serve_fleet_async(router: FleetRouter) -> int:
     loop = asyncio.get_running_loop()
-    router.supervisor.spawn_all()
-    await router.start()
+    # Bind the router socket before spawning anything: a router that cannot
+    # start (port already bound, say) must not orphan N worker processes.
+    try:
+        await router.start()
+        router.supervisor.spawn_all()
+    except BaseException:
+        await router.stop(drain=False)
+        raise
     router.install_signal_handlers(loop)
     try:
         return await router.serve_until_shutdown()
@@ -845,15 +939,26 @@ class FleetThread:
         host = kwargs.pop("host", "127.0.0.1")
 
         async def main() -> None:
+            supervisor: Optional[FleetSupervisor] = None
+            router: Optional[FleetRouter] = None
             try:
                 supervisor = FleetSupervisor(host=host, quiet=quiet, **kwargs)
                 router = FleetRouter(
                     supervisor, host=host, port=port, quiet=quiet,
                     health_interval=health_interval,
                 )
-                supervisor.spawn_all()
+                # Same ordering as _serve_fleet_async: bind the router
+                # before spawning workers, so a failed start leaks nothing.
                 await router.start()
+                supervisor.spawn_all()
             except BaseException as exc:  # noqa: BLE001 — surface to starter
+                if router is not None:
+                    try:
+                        await router.stop(drain=False)
+                    except Exception:
+                        pass
+                elif supervisor is not None:
+                    supervisor.stop()
                 self.error = exc
                 self._ready.set()
                 return

@@ -12,6 +12,7 @@ respawn budget.
 import asyncio
 import os
 import signal
+import socket
 import time
 
 import pytest
@@ -27,7 +28,14 @@ from repro.service import (
     prepare_request,
 )
 from repro.service.client import AsyncServiceClient
-from repro.service.fleet import DRAINING, LIVE
+from repro.service.fleet import (
+    DEAD,
+    DRAINING,
+    LIVE,
+    STARTING,
+    FleetRouter,
+    FleetSupervisor,
+)
 
 RUN_BODY = {
     "kind": "run",
@@ -192,6 +200,171 @@ class TestClientReroute:
         document = asyncio.run(client.submit_and_wait(dict(RUN_BODY)))
         assert document["status"] == "done"
         assert calls["submit"] == 2
+
+
+class _FakeProcess:
+    """A stand-in worker process with a scriptable liveness."""
+
+    def __init__(self, alive=True):
+        self.pid = 4242
+        self._alive = alive
+        self.killed = False
+
+    def poll(self):
+        return None if self._alive else 1
+
+    def kill(self):
+        self._alive = False
+        self.killed = True
+
+
+def _bare_router(**kwargs):
+    supervisor = FleetSupervisor(workers=1, max_respawns=kwargs.pop(
+        "max_respawns", 5
+    ))
+    return FleetRouter(supervisor, quiet=True, **kwargs), (
+        supervisor.handles["worker-0"]
+    )
+
+
+class TestRouterHealth:
+    """Unit tests for the health loop's failure handling (no processes)."""
+
+    def test_relay_raises_connection_error_on_truncated_status(self):
+        # A worker that dies after accepting the connection yields EOF on
+        # the status line; that must surface as a _RELAY_ERRORS member
+        # (ConnectionError), never an IndexError that could kill a caller.
+        async def scenario():
+            async def slam(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(slam, "127.0.0.1", 0)
+            router, handle = _bare_router()
+            handle.port = server.sockets[0].getsockname()[1]
+            try:
+                with pytest.raises((ConnectionError, OSError)):
+                    await router._relay(handle, "GET", "/stats", None,
+                                        timeout=5)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_health_loop_survives_tick_exceptions(self):
+        async def scenario():
+            router, _ = _bare_router(health_interval=0.01)
+            calls = []
+
+            async def tick():
+                calls.append(1)
+                if len(calls) == 1:
+                    raise IndexError("boom")
+
+            router._health_tick = tick
+            task = asyncio.create_task(router._health_loop())
+            deadline = time.monotonic() + 5
+            while len(calls) < 3 and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The loop kept ticking after the first tick blew up.
+            assert len(calls) >= 3
+
+        asyncio.run(scenario())
+
+    def test_draining_worker_survives_probe_failures(self):
+        # A draining worker closes its listener before publishing in-flight
+        # work: probe failures are expected and must never SIGKILL it.
+        async def scenario():
+            router, handle = _bare_router()
+            handle.process = _FakeProcess(alive=True)
+            router._note_draining(handle)
+
+            async def refuse(*args, **kwargs):
+                raise ConnectionError("listener closed")
+
+            router._relay = refuse
+            for _ in range(10):  # far past _PROBE_FAILURES
+                await router._health_tick()
+            assert handle.state == DRAINING
+            assert not handle.process.killed
+
+        asyncio.run(scenario())
+
+    def test_overrun_drain_deadline_forces_death(self):
+        async def scenario():
+            router, handle = _bare_router(max_respawns=0)
+            handle.process = _FakeProcess(alive=True)
+            router._note_draining(handle)
+            handle.draining_since = time.monotonic() - 10_000
+
+            async def refuse(*args, **kwargs):
+                raise ConnectionError("listener closed")
+
+            router._relay = refuse
+            await router._health_tick()
+            assert handle.state == DEAD
+            assert handle.process.killed
+
+        asyncio.run(scenario())
+
+    def test_hung_boot_hits_deadline_and_dies(self):
+        # Alive-but-unresponsive at boot must not stay STARTING forever.
+        async def scenario():
+            router, handle = _bare_router(max_respawns=0)
+            handle.process = _FakeProcess(alive=True)
+            handle.state = STARTING
+            handle.spawned_at = time.monotonic() - 10_000
+
+            async def refuse(*args, **kwargs):
+                raise ConnectionError("not listening")
+
+            router._relay = refuse
+            await router._health_tick()
+            assert handle.state == DEAD
+
+        asyncio.run(scenario())
+
+    def test_early_boot_exit_respawns_off_budget(self):
+        # A death right after spawn is presumed to be the _free_port bind
+        # race: respawn on a fresh port without spending the unplanned
+        # respawn budget.
+        async def scenario():
+            router, handle = _bare_router()
+            handle.process = _FakeProcess(alive=False)
+            handle.state = STARTING
+            handle.spawned_at = time.monotonic()
+            respawned = []
+            router.supervisor.spawn = lambda h: respawned.append(h.name)
+            await router._health_tick()
+            assert respawned == ["worker-0"]
+            assert handle.respawns == 0
+            assert handle.early_deaths == 1
+
+        asyncio.run(scenario())
+
+
+class TestStartupOrdering:
+    def test_router_bind_failure_spawns_no_workers(self, monkeypatch):
+        # Workers are spawned only after the router socket is bound, so a
+        # router that cannot start cannot orphan worker processes.
+        spawned = []
+        monkeypatch.setattr(
+            FleetSupervisor, "spawn_all", lambda self: spawned.append(1)
+        )
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            running = FleetThread(workers=2, port=port)
+            with pytest.raises(RuntimeError, match="fleet failed to start"):
+                running.start()
+        finally:
+            blocker.close()
+        assert spawned == []
 
 
 @pytest.fixture(scope="module")
