@@ -10,7 +10,14 @@ Subcommands:
 * ``serve`` — start the optimization service (async JSON-over-HTTP layer
   with request coalescing, batching and tiered caching);
 * ``submit <target>`` — send a run request to a running service and render
-  the result exactly like ``run`` would.
+  the result exactly like ``run`` would;
+* ``trace show <trace-id>`` — render a recorded request trace (span tree +
+  self-time table) from a live service or a store-side span sink.
+
+Observability: ``run --profile`` / ``submit --profile`` trace the work end
+to end and print a profile (plus a ``trace-<id>.json`` Chrome-trace
+artifact); ``serve --metrics`` prints a periodic one-line digest, and every
+server and fleet router exposes Prometheus text on ``GET /metrics``.
 
 Examples::
 
@@ -52,10 +59,11 @@ heuristic portfolio and the result is marked ``degraded`` instead of cached.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.presets import RunOptions, run_preset
 from repro.experiments.reporting import event_printer, format_table
@@ -153,6 +161,41 @@ def _open_journal(args: argparse.Namespace, run_id: str):
     return RunJournal.for_store(args.store, run_id)
 
 
+def _merge_spans(
+    trace_id: str, extra: Optional[Sequence[Dict[str, Any]]] = None
+) -> List[Dict[str, Any]]:
+    """Local ring spans of one trace merged with remote ones (ring wins)."""
+    from repro.obs.trace import ring_spans
+
+    by_id: Dict[str, Dict[str, Any]] = {
+        record["span_id"]: record
+        for record in extra or []
+        if isinstance(record, dict) and record.get("span_id")
+    }
+    for record in ring_spans(trace_id):
+        by_id[record["span_id"]] = record
+    return sorted(
+        by_id.values(),
+        key=lambda r: (r.get("started_unix") or 0.0, r.get("span_id") or ""),
+    )
+
+
+def _print_profile(
+    trace_id: str,
+    spans: Sequence[Dict[str, Any]],
+    quiet: bool = False,
+) -> None:
+    """The ``--profile`` report: span tree, self-time table, Chrome JSON."""
+    from repro.obs.profile import format_profile, format_tree, write_chrome_trace
+
+    print(f"trace: {trace_id}")
+    print(format_tree(spans))
+    print(format_profile(spans))
+    path = write_chrome_trace(Path(f"trace-{trace_id}.json"), spans)
+    if not quiet:
+        print(f"profile: wrote {path} (open in chrome://tracing or Perfetto)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.resilience import injected, journaling, optional_scope
     from repro.resilience.journal import JournalError
@@ -216,9 +259,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     log = EventLog()
+    root_trace = None
     try:
-        with graceful_interrupts(), injected(plan), journaling(journal), \
-                optional_scope(args.deadline):
+        with contextlib.ExitStack() as stack:
+            if getattr(args, "profile", False):
+                from repro.obs import trace as _obs
+
+                if args.store is not None:
+                    # Spans also land next to the store, so a later
+                    # `repro trace show --store` finds this run.
+                    _obs.set_trace_sink(_obs.store_sink_path(args.store))
+                root_trace = stack.enter_context(
+                    _obs.start_trace(f"run:{target}")
+                )
+            stack.enter_context(graceful_interrupts())
+            stack.enter_context(injected(plan))
+            stack.enter_context(journaling(journal))
+            stack.enter_context(optional_scope(args.deadline))
             result = run_preset(target, options, _events(args, log))
     except PipelineAborted as exc:
         hint = (
@@ -242,6 +299,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         done = len(log.of_kind("job-done"))
         print(f"store: {log.cached_jobs}/{done} job(s) served from {args.store}")
     _write_output(result, args)
+    if root_trace is not None:
+        _print_profile(
+            root_trace.trace_id,
+            _merge_spans(root_trace.trace_id),
+            quiet=args.quiet,
+        )
     return 0
 
 
@@ -290,6 +353,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 queue_limit=args.queue_limit,
                 quiet=args.quiet,
+                metrics_digest=args.metrics,
             )
         # --workers 1 is the unchanged single-process server: same code
         # path as before fleet mode existed, byte-identical behavior.
@@ -302,6 +366,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             queue_limit=args.queue_limit,
             quiet=args.quiet,
+            metrics_digest=args.metrics,
         )
     except OSError as exc:
         # Bind failures (port in use, bad address) are user input errors,
@@ -336,17 +401,31 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print("error: --deadline must be positive seconds", file=sys.stderr)
         return 2
 
+    profile_cm: Any = contextlib.nullcontext()
+    if getattr(args, "profile", False):
+        from repro.obs import trace as _obs
+
+        # The client attaches the ambient trace ref to the submit body, so
+        # router route-spans and worker request/execute spans all land in
+        # this trace; the remote halves are fetched back below.
+        profile_cm = _obs.start_trace(f"submit:{args.target}")
+
+    trace_id: Optional[str] = None
     try:
-        record = client.submit_run(args.target, options, deadline=args.deadline)
-        if args.no_wait:
-            print(json.dumps(record, indent=2))
-            return 0
-        if record.get("status") == "done":
-            document = client.result(record["id"])
-        else:
-            document = client.wait(
-                record["id"], timeout=args.timeout, on_event=on_event
+        with profile_cm as root:
+            trace_id = getattr(root, "trace_id", None)
+            record = client.submit_run(
+                args.target, options, deadline=args.deadline
             )
+            if args.no_wait:
+                print(json.dumps(record, indent=2))
+                return 0
+            if record.get("status") == "done":
+                document = client.result(record["id"])
+            else:
+                document = client.wait(
+                    record["id"], timeout=args.timeout, on_event=on_event
+                )
     except ServiceBusy as exc:
         print(f"service busy: {exc}", file=sys.stderr)
         return 3
@@ -369,6 +448,48 @@ def cmd_submit(args: argparse.Namespace) -> int:
     else:
         print(json.dumps(result, indent=2))
     _write_output(result, args)
+    if trace_id is not None:
+        remote: List[Dict[str, Any]] = []
+        try:
+            remote = client.trace_spans(trace_id).get("spans") or []
+        except (ServiceError, OSError, TimeoutError, ValueError):
+            # Server-side spans are a bonus; the local root still profiles.
+            pass
+        _print_profile(
+            trace_id, _merge_spans(trace_id, remote), quiet=args.quiet
+        )
+    return 0
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.obs.profile import format_profile, format_tree
+
+    spans: List[Dict[str, Any]]
+    if args.store is not None:
+        from repro.obs.trace import read_sink, store_sink_path
+
+        spans = [
+            record
+            for record in read_sink(store_sink_path(args.store), args.trace_id)
+            if isinstance(record, dict)
+        ]
+    else:
+        from repro.service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(
+            host=args.host, port=args.port, timeout=args.timeout
+        )
+        try:
+            spans = client.trace_spans(args.trace_id).get("spans") or []
+        except (ServiceError, OSError, TimeoutError) as exc:
+            print(f"service error: {exc}", file=sys.stderr)
+            return 2
+    if not spans:
+        print(f"no spans recorded for trace {args.trace_id!r}", file=sys.stderr)
+        return 1
+    print(f"trace: {args.trace_id}")
+    print(format_tree(spans))
+    print(format_profile(spans))
     return 0
 
 
@@ -446,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", default=None, metavar="RUN_ID",
                      help="resume a journaled run: re-declares its target "
                           "and options, skips journaled-complete jobs")
+    run.add_argument("--profile", action="store_true",
+                     help="trace the run and print a span tree, a self-time "
+                          "table and a chrome://tracing JSON artifact")
     add_compute_options(run)
     run.set_defaults(func=cmd_run)
 
@@ -473,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes; >1 starts a fleet: a router on "
                           "--port sharding requests across N single-process "
                           "servers by result fingerprint (default 1)")
+    srv.add_argument("--metrics", action="store_true",
+                     help="print a one-line metrics digest every few seconds "
+                          "(the full exposition lives on GET /metrics)")
     srv.add_argument("--quiet", action="store_true",
                      help="suppress service log lines")
     srv.set_defaults(func=cmd_serve)
@@ -489,8 +616,26 @@ def build_parser() -> argparse.ArgumentParser:
                           "degrades rather than overshoot it)")
     sbm.add_argument("--no-wait", action="store_true",
                      help="print the queued record instead of waiting")
+    sbm.add_argument("--profile", action="store_true",
+                     help="trace the request end to end (client, router, "
+                          "worker) and print the merged span profile")
     add_compute_options(sbm)
     sbm.set_defaults(func=cmd_submit)
+
+    trc = sub.add_parser("trace", help="inspect recorded request traces")
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    show = trc_sub.add_parser(
+        "show", help="render one trace as a span tree + self-time table"
+    )
+    show.add_argument("trace_id", help="trace id printed by --profile runs")
+    show.add_argument("--store", default=None,
+                      help="read spans from the JSONL sink next to this "
+                           "artifact store instead of a live service")
+    show.add_argument("--host", default="127.0.0.1", help="service host")
+    show.add_argument("--port", type=int, default=8642, help="service port")
+    show.add_argument("--timeout", type=float, default=30.0,
+                      help="request timeout in seconds (default 30)")
+    show.set_defaults(func=cmd_trace_show)
     return parser
 
 

@@ -1,0 +1,222 @@
+"""Canonical metric-name tables shared by server and fleet router.
+
+Historically the broker's ``/stats`` counters (``cache_hits_memory``, ...)
+and the fleet router's aggregation (nested ``cache.l1`` dicts summed with
+ad-hoc keys) drifted apart because each side hand-rolled its own naming.
+This module is the single source of truth: both the single-process
+``GET /metrics`` endpoint and the router's per-worker aggregation build
+their registries through :func:`stats_registry` / :func:`fleet_registry`,
+so a counter exists on one side iff it exists on the other, under the
+same Prometheus family name.  A parity unit test pins the tables to the
+broker's live counter dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+# ``Broker.counters`` key -> Prometheus family.  Keys here must exactly
+# match the broker's counter dict (asserted by tests/test_obs.py), so a
+# counter added to one without the other fails fast instead of drifting.
+REQUEST_COUNTERS = {
+    "submitted": "repro_requests_submitted_total",
+    "completed": "repro_requests_completed_total",
+    "failed": "repro_requests_failed_total",
+    "rejected": "repro_requests_rejected_total",
+    "coalesced": "repro_requests_coalesced_total",
+    "cache_hits_memory": "repro_request_cache_hits_l1_total",
+    "cache_hits_store": "repro_request_cache_hits_store_total",
+    "batches": "repro_batches_total",
+    "batched_lanes": "repro_batched_lanes_total",
+}
+
+# Non-monotonic request tallies exposed as gauges.
+REQUEST_GAUGES = {
+    "max_batch_lanes": "repro_max_batch_lanes",
+}
+
+# ``LruCache.stats()`` / ``ArtifactStore`` counters, nested under
+# ``cache.l1`` / ``cache.store`` in the ``/stats`` body.
+L1_CACHE_COUNTERS = {
+    "hits": "repro_cache_l1_hits_total",
+    "misses": "repro_cache_l1_misses_total",
+}
+L1_CACHE_GAUGES = {
+    "size": "repro_cache_l1_size",
+    "maxsize": "repro_cache_l1_maxsize",
+}
+L1_HIT_RATIO_GAUGE = "repro_cache_l1_hit_ratio"
+STORE_CACHE_COUNTERS = {
+    "hits": "repro_cache_store_hits_total",
+    "misses": "repro_cache_store_misses_total",
+}
+
+# ``queue`` sub-dict gauges.
+QUEUE_GAUGES = {
+    "depth": "repro_queue_depth",
+    "limit": "repro_queue_limit",
+    "in_flight": "repro_queue_in_flight",
+    "drain_rate_rps": "repro_drain_rate_rps",
+}
+
+UPTIME_GAUGE = "repro_uptime_seconds"
+KERNEL_BACKEND_INFO = "repro_kernel_backend_info"
+WORKERS_LIVE_GAUGE = "repro_fleet_workers"
+
+# ``FleetRouter.counters`` key -> Prometheus family.
+ROUTER_COUNTERS = {
+    "routed": "repro_router_routed_total",
+    "rerouted": "repro_router_rerouted_total",
+    "unrouted": "repro_router_unrouted_total",
+    "lost": "repro_router_lost_total",
+    "worker_deaths": "repro_router_worker_deaths_total",
+    "respawns": "repro_router_respawns_total",
+    "drains": "repro_router_drains_total",
+}
+
+_HELP = {
+    "repro_requests_submitted_total": "Requests accepted by the broker",
+    "repro_requests_completed_total": "Requests finished successfully",
+    "repro_requests_failed_total": "Requests that raised during execution",
+    "repro_requests_rejected_total": "Requests rejected by admission control",
+    "repro_requests_coalesced_total": "Requests coalesced onto an in-flight twin",
+    "repro_request_cache_hits_l1_total": "Requests served from the in-memory L1 result cache",
+    "repro_request_cache_hits_store_total": "Requests served from the persistent artifact store",
+    "repro_batches_total": "Executed request batches",
+    "repro_batched_lanes_total": "Simulation lanes executed via batching",
+    "repro_max_batch_lanes": "Largest batch executed so far",
+    "repro_cache_l1_hits_total": "L1 result-cache hits",
+    "repro_cache_l1_misses_total": "L1 result-cache misses",
+    "repro_cache_l1_size": "Entries currently in the L1 result cache",
+    "repro_cache_l1_maxsize": "L1 result-cache capacity",
+    "repro_cache_l1_hit_ratio": "L1 hits / lookups (0.0 on a fresh server)",
+    "repro_cache_store_hits_total": "Artifact-store read hits",
+    "repro_cache_store_misses_total": "Artifact-store read misses",
+    "repro_queue_depth": "Requests waiting in the broker queue",
+    "repro_queue_limit": "Broker queue admission limit",
+    "repro_queue_in_flight": "Distinct request keys currently in flight",
+    "repro_drain_rate_rps": "Estimated queue drain rate (0.0 until history exists)",
+    "repro_uptime_seconds": "Seconds since the server or router started",
+    "repro_kernel_backend_info": "Active compiled simulation backend (info gauge, always 1)",
+    "repro_fleet_workers": "Workers known to the fleet router",
+    "repro_router_routed_total": "Requests routed to a worker",
+    "repro_router_rerouted_total": "Requests routed past their primary ring owner",
+    "repro_router_unrouted_total": "Requests with no live worker available",
+    "repro_router_lost_total": "Tracked requests lost to a worker death",
+    "repro_router_worker_deaths_total": "Worker processes observed dead",
+    "repro_router_respawns_total": "Worker processes respawned",
+    "repro_router_drains_total": "Workers put into draining state",
+}
+
+
+def help_for(name: str) -> str:
+    return _HELP.get(name, "")
+
+
+def _as_number(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def stats_registry(
+    stats: Mapping[str, Any],
+    registry: Optional[MetricsRegistry] = None,
+    **labels: str,
+) -> MetricsRegistry:
+    """Mirror one broker ``/stats`` payload into a registry.
+
+    This is the canonical translation used by *both* the single-process
+    server (no labels) and the fleet router (``worker="..."`` labels plus
+    an unlabeled sum), which is what keeps the two sides name-compatible.
+    """
+
+    registry = registry or MetricsRegistry()
+    requests = stats.get("requests") or {}
+    for key, family in REQUEST_COUNTERS.items():
+        value = _as_number(requests.get(key))
+        if value is not None:
+            counter = registry.counter(family, help_for(family))
+            counter.set(counter.value(**labels) + value, **labels)
+    for key, family in REQUEST_GAUGES.items():
+        value = _as_number(requests.get(key))
+        if value is not None:
+            gauge = registry.gauge(family, help_for(family))
+            gauge.set(max(gauge.value(**labels), value), **labels)
+    cache = stats.get("cache") or {}
+    l1 = cache.get("l1") or {}
+    for key, family in L1_CACHE_COUNTERS.items():
+        value = _as_number(l1.get(key))
+        if value is not None:
+            counter = registry.counter(family, help_for(family))
+            counter.set(counter.value(**labels) + value, **labels)
+    for key, family in L1_CACHE_GAUGES.items():
+        value = _as_number(l1.get(key))
+        if value is not None:
+            gauge = registry.gauge(family, help_for(family))
+            gauge.set(gauge.value(**labels) + value, **labels)
+    # Derive the ratio from the (possibly fleet-summed) counters so the
+    # unlabeled aggregate is hits/lookups over the whole fleet, not a sum
+    # or last-write of per-worker ratios.
+    hits = registry.counter(L1_CACHE_COUNTERS["hits"]).value(**labels)
+    lookups = hits + registry.counter(L1_CACHE_COUNTERS["misses"]).value(**labels)
+    registry.gauge(L1_HIT_RATIO_GAUGE, help_for(L1_HIT_RATIO_GAUGE)).set(
+        round(hits / lookups, 6) if lookups else 0.0, **labels
+    )
+    store = cache.get("store") or {}
+    for key, family in STORE_CACHE_COUNTERS.items():
+        value = _as_number(store.get(key))
+        if value is not None:
+            counter = registry.counter(family, help_for(family))
+            counter.set(counter.value(**labels) + value, **labels)
+    queue = stats.get("queue") or {}
+    for key, family in QUEUE_GAUGES.items():
+        value = _as_number(queue.get(key))
+        if value is not None:
+            gauge = registry.gauge(family, help_for(family))
+            gauge.set(gauge.value(**labels) + value, **labels)
+    uptime = _as_number(stats.get("uptime_seconds"))
+    if uptime is not None:
+        registry.gauge(UPTIME_GAUGE, help_for(UPTIME_GAUGE)).set(uptime, **labels)
+    backend = stats.get("kernel_backend")
+    if isinstance(backend, str) and backend:
+        registry.gauge(KERNEL_BACKEND_INFO, help_for(KERNEL_BACKEND_INFO)).set(
+            1, backend=backend, **labels
+        )
+    return registry
+
+
+def fleet_registry(
+    per_worker: Mapping[str, Optional[Mapping[str, Any]]],
+    router_counters: Mapping[str, Any],
+    uptime_seconds: float,
+) -> MetricsRegistry:
+    """Aggregate worker ``/stats`` payloads plus router tallies.
+
+    Each live worker contributes both an unlabeled sample (summed across
+    the fleet) and a ``worker="name"``-labeled one, through the same
+    canonical table as the single-process server — summed families are
+    therefore exactly the sum of the per-worker samples.
+    """
+
+    registry = MetricsRegistry()
+    live = 0
+    for name, stats in sorted(per_worker.items()):
+        if not isinstance(stats, Mapping):
+            continue
+        live += 1
+        stats_registry(stats, registry)  # fleet-wide sums
+        stats_registry(stats, registry, worker=name)
+    registry.gauge(WORKERS_LIVE_GAUGE, help_for(WORKERS_LIVE_GAUGE)).set(
+        len(per_worker)
+    )
+    registry.gauge(UPTIME_GAUGE, help_for(UPTIME_GAUGE)).set(
+        float(uptime_seconds)
+    )
+    for key, family in ROUTER_COUNTERS.items():
+        value = _as_number(router_counters.get(key))
+        if value is not None:
+            registry.counter(family, help_for(family)).set(value)
+    return registry

@@ -1,0 +1,140 @@
+"""Profiling views over recorded span trees.
+
+Turns the flat span dicts produced by :mod:`repro.obs.trace` into:
+
+* a sorted self-time table (wall, CPU, call counts per span name) for
+  ``repro trace show`` and the ``--profile`` flag, and
+* a Chrome-trace-format JSON document (``chrome://tracing`` /
+  ``ui.perfetto.dev``) with complete ``ph: "X"`` events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.trace import assemble_tree
+
+
+def self_times(spans: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate spans by name into self-time rows, longest first.
+
+    Self time is a span's wall time minus the wall time of its direct
+    children (clamped at zero — children recorded from other processes
+    can overlap the parent's clock slightly).
+    """
+
+    child_seconds: Dict[str, float] = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + float(
+                record.get("seconds") or 0.0
+            )
+    rows: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        name = str(record.get("name") or "?")
+        row = rows.setdefault(
+            name,
+            {"name": name, "calls": 0, "wall": 0.0, "self": 0.0, "cpu": 0.0},
+        )
+        wall = float(record.get("seconds") or 0.0)
+        row["calls"] += 1
+        row["wall"] += wall
+        row["self"] += max(0.0, wall - child_seconds.get(record.get("span_id", ""), 0.0))
+        row["cpu"] += float(record.get("cpu_seconds") or 0.0)
+    return sorted(rows.values(), key=lambda row: (-row["self"], row["name"]))
+
+
+def format_profile(spans: Sequence[Mapping[str, Any]]) -> str:
+    """Render the self-time table as aligned text."""
+
+    rows = self_times(spans)
+    if not rows:
+        return "(no spans recorded)"
+    headers = ("span", "calls", "wall s", "self s", "cpu s")
+    cells = [
+        (
+            row["name"],
+            str(row["calls"]),
+            f"{row['wall']:.4f}",
+            f"{row['self']:.4f}",
+            f"{row['cpu']:.4f}",
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in cells))
+        for i in range(len(headers))
+    ]
+    def fmt(line: Sequence[str]) -> str:
+        parts = [line[0].ljust(widths[0])]
+        parts.extend(line[i].rjust(widths[i]) for i in range(1, len(line)))
+        return "  ".join(parts)
+    out = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    out.extend(fmt(line) for line in cells)
+    return "\n".join(out)
+
+
+def format_tree(spans: Sequence[Mapping[str, Any]]) -> str:
+    """Render the span forest with indentation, durations, annotations."""
+
+    roots = assemble_tree(list(spans))
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+
+    def walk(node: Mapping[str, Any], depth: int) -> None:
+        ann = node.get("annotations") or {}
+        extras = " ".join(f"{key}={ann[key]}" for key in sorted(ann))
+        line = "{}{}  {:.4f}s  [{}]".format(
+            "  " * depth, node.get("name"), float(node.get("seconds") or 0.0),
+            node.get("span_id"),
+        )
+        if extras:
+            line += "  " + extras
+        lines.append(line)
+        for child in node.get("children", []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def chrome_trace(spans: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert spans to the Chrome trace event format (complete events)."""
+
+    events: List[Dict[str, Any]] = []
+    for record in sorted(
+        spans, key=lambda r: (float(r.get("started_unix") or 0.0), str(r.get("span_id")))
+    ):
+        events.append(
+            {
+                "name": record.get("name"),
+                "ph": "X",
+                "ts": round(float(record.get("started_unix") or 0.0) * 1e6, 3),
+                "dur": round(float(record.get("seconds") or 0.0) * 1e6, 3),
+                "pid": record.get("pid", 0),
+                "tid": record.get("pid", 0),
+                "args": {
+                    "trace_id": record.get("trace_id"),
+                    "span_id": record.get("span_id"),
+                    "parent_id": record.get("parent_id"),
+                    **(record.get("annotations") or {}),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Any, spans: Sequence[Mapping[str, Any]]
+) -> Path:
+    """Write the Chrome-trace JSON artifact and return its path."""
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(spans), indent=2), encoding="utf-8")
+    return target

@@ -36,6 +36,9 @@ class PipelineEvent:
         cached: True when the job result came from the artifact store.
         seconds: Wall-clock duration (job- and pipeline-done events).
         message: Human-readable detail (failures, fallback reasons).
+        trace_id: Observability correlation id of the surrounding trace
+            (None when tracing is off; never part of cache keys).
+        span_id: Span active when the event was emitted.
     """
 
     kind: str
@@ -46,6 +49,8 @@ class PipelineEvent:
     cached: bool = False
     seconds: Optional[float] = None
     message: str = ""
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     def to_dict(self) -> dict:
         """Compact dictionary form (wire format): defaulted fields omitted.
@@ -54,7 +59,8 @@ class PipelineEvent:
         can rebuild the dataclass from the JSON rendering.
         """
         out: dict = {"kind": self.kind}
-        for name in ("job_id", "index", "total", "shards", "seconds"):
+        for name in ("job_id", "index", "total", "shards", "seconds",
+                     "trace_id", "span_id"):
             value = getattr(self, name)
             if value is not None:
                 out[name] = value

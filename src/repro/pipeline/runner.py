@@ -42,8 +42,10 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
+from dataclasses import replace as _replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import trace as _trace
 from repro.pipeline import events as ev
 from repro.pipeline.stages import Job, execute_job, job_store_key
 from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
@@ -131,6 +133,26 @@ def graceful_interrupts(stream=None) -> Iterator[Callable[[], bool]]:
 
 def _default_should_stop() -> bool:
     return _INTERRUPT.is_set()
+
+
+def _stamped(emit: ev.EventCallback) -> ev.EventCallback:
+    """Wrap an event callback to stamp the ambient trace/span ids.
+
+    Events that already carry a trace id (e.g. sharded JOB_DONE events
+    tied to their job span) pass through untouched; with no active trace
+    this is a single contextvar read per event.
+    """
+
+    def wrapped(event: ev.PipelineEvent) -> None:
+        if event.trace_id is None:
+            trace_id = _trace.current_trace_id()
+            if trace_id is not None:
+                event = _replace(
+                    event, trace_id=trace_id, span_id=_trace.current_span_id()
+                )
+        emit(event)
+
+    return wrapped
 
 
 def _resolve_store(store: StoreLike) -> Optional[ArtifactStore]:
@@ -237,7 +259,7 @@ def run_jobs(
         PipelineAborted: When ``should_stop`` requested a graceful stop.
     """
     jobs = list(jobs)
-    emit = events if events is not None else (lambda event: None)
+    emit = _stamped(events if events is not None else (lambda event: None))
     stop = should_stop if should_stop is not None else _default_should_stop
     resolved = _resolve_store(store)
     store_root = None if resolved is None else str(resolved.root)
@@ -299,22 +321,25 @@ def run_jobs(
             total=len(jobs), shards=1,
         ))
         job_started = time.perf_counter()
-        try:
-            payload, cached, key = _run_one(job, resolved)
-        except Exception as exc:
+        with _trace.span(f"job:{job.job_id}") as job_span:
+            try:
+                payload, cached, key = _run_one(job, resolved)
+            except Exception as exc:
+                emit(ev.PipelineEvent(
+                    kind=ev.JOB_FAILED, job_id=job.job_id, index=index + 1,
+                    total=len(jobs), shards=1, message=repr(exc),
+                ))
+                raise
+            if job_span:
+                job_span.annotate(cached=cached)
+            results[index] = payload
+            _journal_done(journal, job.job_id, payload, key)
+            _emit_degraded(emit, payload, job.job_id, index, len(jobs), 1)
             emit(ev.PipelineEvent(
-                kind=ev.JOB_FAILED, job_id=job.job_id, index=index + 1,
-                total=len(jobs), shards=1, message=repr(exc),
+                kind=ev.JOB_DONE, job_id=job.job_id, index=index + 1,
+                total=len(jobs), shards=1, cached=cached,
+                seconds=time.perf_counter() - job_started,
             ))
-            raise
-        results[index] = payload
-        _journal_done(journal, job.job_id, payload, key)
-        _emit_degraded(emit, payload, job.job_id, index, len(jobs), 1)
-        emit(ev.PipelineEvent(
-            kind=ev.JOB_DONE, job_id=job.job_id, index=index + 1,
-            total=len(jobs), shards=1, cached=cached,
-            seconds=time.perf_counter() - job_started,
-        ))
 
     emit(ev.PipelineEvent(
         kind=ev.PIPELINE_DONE, total=len(jobs), shards=effective,
@@ -427,9 +452,14 @@ def _drain_pool(
         results[index] = payload
         _journal_done(journal, jobs[index].job_id, payload, key)
         _emit_degraded(emit, payload, jobs[index].job_id, index, total, shards)
+        span_rec = _trace.record_span(
+            f"job:{jobs[index].job_id}", seconds, cached=cached
+        )
         emit(ev.PipelineEvent(
             kind=ev.JOB_DONE, job_id=jobs[index].job_id, index=index + 1,
             total=total, shards=shards, cached=cached, seconds=seconds,
+            trace_id=(span_rec or {}).get("trace_id"),
+            span_id=(span_rec or {}).get("span_id"),
         ))
 
 
@@ -503,10 +533,18 @@ def _run_sharded(
                 _emit_degraded(
                     emit, payload, jobs[index].job_id, index, total, shards
                 )
+                # The job ran in a pool worker, out of reach of this
+                # process's contextvars: record its span parent-side from
+                # the worker-reported wall time.
+                span_rec = _trace.record_span(
+                    f"job:{jobs[index].job_id}", seconds, cached=cached
+                )
                 emit(ev.PipelineEvent(
                     kind=ev.JOB_DONE, job_id=jobs[index].job_id,
                     index=index + 1, total=total, shards=shards,
                     cached=cached, seconds=seconds,
+                    trace_id=(span_rec or {}).get("trace_id"),
+                    span_id=(span_rec or {}).get("span_id"),
                 ))
         pool.shutdown(wait=True)
         return [], False

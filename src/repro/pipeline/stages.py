@@ -38,6 +38,7 @@ from repro.core.optimizer import (
 )
 from repro.core.rrg import RRG
 from repro.core.throughput import configuration_throughput_bound
+from repro.obs import trace as _trace
 from repro.pipeline.store import content_key
 from repro.resilience import faults as _faults
 from repro.resilience.deadline import Deadline, DeadlineExceeded
@@ -588,13 +589,38 @@ def execute_job(
             _faults.check("stage", f"{job.job_id}:{stage.name}", attempt)
             stage.run(ctx)
 
-        policy.call(
-            run_stage,
-            retry_on=(InjectedFault, TransientError),
-            salt=f"stage:{job.job_id}:{stage.name}",
-        )
+        with _trace.span(f"stage:{stage.name}", job_id=job.job_id) as stage_span:
+            policy.call(
+                run_stage,
+                retry_on=(InjectedFault, TransientError),
+                salt=f"stage:{job.job_id}:{stage.name}",
+            )
+            if stage_span:
+                _annotate_stage_span(stage_span, stage.name, ctx.payload)
     ctx.payload["job_id"] = job.job_id
     return ctx.payload
+
+
+def _annotate_stage_span(stage_span, stage_name: str, payload: Dict[str, Any]) -> None:
+    """Copy solver/search effort counters onto a stage span.
+
+    Pure observability: annotations are read from the payload, never
+    written back, so traced and untraced runs stay bit-identical.
+    """
+    if stage_name == "optimize":
+        optimize = payload.get("optimize")
+        if isinstance(optimize, dict):
+            stage_span.annotate(
+                lp_iterations=optimize.get("total_lp_iterations"),
+                milp_solves=optimize.get("milp_solves"),
+            )
+            search = optimize.get("search")
+            if isinstance(search, dict) and "evaluations" in search:
+                stage_span.annotate(search_evaluations=search.get("evaluations"))
+    elif stage_name == "simulate":
+        from repro.sim.kernels import kernel_backend
+
+        stage_span.annotate(kernel_backend=kernel_backend())
 
 
 def job_store_key(job: Job, rrg: RRG) -> str:

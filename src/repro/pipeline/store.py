@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
+from repro.obs import trace as _trace
 from repro.resilience.faults import InjectedFault
 from repro.resilience import faults as _faults
 from repro.resilience.retry import STORE_RETRY, RetryPolicy
@@ -92,6 +93,16 @@ class ArtifactStore:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or None on miss/corruption."""
+        # Inside a trace the persistent tier gets its own span (hit/miss
+        # annotated); span() is a falsy no-op without an active trace, so
+        # untraced reads pay one contextvar lookup and nothing else.
+        with _trace.span("store-get", key=key) as tier_span:
+            payload = self._read(key)
+            if tier_span:
+                tier_span.annotate(tier="l3", hit=payload is not None)
+            return payload
+
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(key)
 
         def read(attempt: int) -> Dict[str, Any]:

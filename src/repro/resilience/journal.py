@@ -141,6 +141,9 @@ class RunJournal:
                 "key": str(store_key),
                 "status": "done",
             })
+        from repro.obs.metrics import note_journal_record
+
+        note_journal_record()
 
     def completed_key(self, job_id: str) -> Optional[str]:
         """The store key of a journaled-complete job (None when absent)."""

@@ -124,6 +124,12 @@ class RetryPolicy:
                 last = exc
                 if attempt == self.attempts - 1:
                     raise
+                # Lazy import: metrics depend on nothing, but keeping the
+                # observability layer out of this module's import graph
+                # means a stripped-down deployment can drop repro.obs.
+                from repro.obs.metrics import note_retry
+
+                note_retry()
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 pause = self.delay(attempt, salt)

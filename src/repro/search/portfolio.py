@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.milp import MilpSettings
 from repro.core.rrg import RRG
+from repro.obs import trace as _obs_trace
 from repro.resilience.deadline import Deadline
 from repro.search.problem import LP_FILTER_MAX_NODES, Evaluation, SearchProblem
 from repro.search.state import SearchState
@@ -474,7 +475,7 @@ def search_minimize(
     else:
         points.append(best)
 
-    return SearchResult(
+    result = SearchResult(
         best=best,
         history=list(racer.history),
         strategies=racer.reports(),
@@ -493,3 +494,16 @@ def search_minimize(
         pool_size=pool,
         kernel_backend=_kernels.kernel_backend(),
     )
+    # Observability only: a completed search span under the ambient trace
+    # (no-op when tracing is off); never feeds back into the result.
+    _obs_trace.record_span(
+        "search",
+        result.seconds,
+        strategies=",".join(strategies),
+        evaluations=result.evaluations,
+        simulations=result.simulations,
+        lp_solves=result.lp_solves,
+        kernel_backend=result.kernel_backend,
+        completed=result.completed,
+    )
+    return result

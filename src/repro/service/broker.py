@@ -31,6 +31,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry, global_registry, render_metrics
+from repro.obs.names import stats_registry
 from repro.pipeline.store import ArtifactStore
 from repro.service import protocol
 from repro.service.worker import ExecutionGroup, execute_group, group_requests
@@ -52,6 +55,7 @@ class RequestRecord:
     status: str = QUEUED
     cached: Optional[str] = None  # None | "memory" | "store" | "coalesced"
     created: float = field(default_factory=time.monotonic)
+    created_wall: float = field(default_factory=time.time)
     started: Optional[float] = None
     finished: Optional[float] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
@@ -59,6 +63,12 @@ class RequestRecord:
     error: Optional[str] = None
     primary: Optional["RequestRecord"] = None  # set on coalesced followers
     followers: List["RequestRecord"] = field(default_factory=list)
+    # Observability only: the trace this request belongs to, the span the
+    # broker minted for it, and the caller-side parent span.  Never copied
+    # into results, cache entries or store artifacts.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -83,6 +93,10 @@ class RequestRecord:
             out["error"] = self.error
         if self.finished is not None and self.started is not None:
             out["seconds"] = round(self.finished - self.started, 6)
+        if self.trace_id is not None:
+            # Status metadata only — the /result document stays trace-free.
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
         return out
 
 
@@ -140,6 +154,14 @@ class Broker:
             "batched_lanes": 0,
             "max_batch_lanes": 0,
         }
+        # Live metric families owned by this broker (the /stats counters are
+        # mirrored through repro.obs.names at render time instead, so both
+        # views share one name table by construction).
+        self.metrics = MetricsRegistry()
+        self._latency = self.metrics.histogram(
+            "repro_request_seconds",
+            "Request wall time from admission to completion",
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -182,6 +204,20 @@ class Broker:
             id=f"req-{next(self._ids):05d}-{uuid.uuid4().hex[:6]}",
             prepared=prepared,
         )
+        if prepared.trace_id is not None:
+            # Mint the broker-side request span up front and re-point the
+            # prepared request's parent at it, so execution spans recorded
+            # on the compute thread nest under this request rather than
+            # directly under the caller.
+            record.trace_id = prepared.trace_id
+            record.parent_span_id = prepared.parent_span_id
+            record.span_id = _trace.derive_span_id(
+                prepared.trace_id,
+                prepared.parent_span_id or "",
+                f"request:{record.id}",
+                0,
+            )
+            prepared.parent_span_id = record.span_id
         self._records[record.id] = record
         self._record_order.append(record.id)
         # Retention only ever evicts *terminal* records: a flood of cache
@@ -323,23 +359,64 @@ class Broker:
         record.started = record.started if record.started is not None else now
         record.finished = now
         self.counters["completed"] += 1
+        self._observe_done(record)
         for follower in record.followers:
             follower.result = result
             follower.status = DONE
             follower.started = record.started
             follower.finished = now
             self.counters["completed"] += 1
+            self._observe_done(follower)
 
     def _fail(self, record: RequestRecord, message: str) -> None:
         record.error = message
         record.status = FAILED
         record.finished = time.monotonic()
         self.counters["failed"] += 1
+        self._observe_done(record)
         for follower in record.followers:
             follower.error = message
             follower.status = FAILED
             follower.finished = record.finished
             self.counters["failed"] += 1
+            self._observe_done(follower)
+
+    def _observe_done(self, record: RequestRecord) -> None:
+        """Latency histogram + broker-side spans for a terminal record.
+
+        Runs on the event loop; span recording is a dict append (plus one
+        small sink write when configured), never a compute.
+        """
+        finished = record.finished if record.finished is not None else time.monotonic()
+        total = max(0.0, finished - record.created)
+        self._latency.observe(total, kind=record.prepared.kind)
+        if record.trace_id is None or record.span_id is None:
+            return
+        _trace.finish_span_record(
+            record.trace_id,
+            record.span_id,
+            record.parent_span_id,
+            "request",
+            record.created_wall,
+            total,
+            request_id=record.id,
+            kind=record.prepared.kind,
+            status=record.status,
+            cached=record.cached,
+        )
+        # Queue wait only exists for requests that actually executed (cache
+        # hits and coalesced followers never enter the queue).
+        if record.cached is None and record.started is not None:
+            _trace.finish_span_record(
+                record.trace_id,
+                _trace.derive_span_id(
+                    record.trace_id, record.span_id, "queue-wait", 0
+                ),
+                record.span_id,
+                "queue-wait",
+                record.created_wall,
+                max(0.0, record.started - record.created),
+            )
 
     def _emit_threadsafe(self, loop: asyncio.AbstractEventLoop):
         def emit(request_id: str, event: Dict[str, Any]) -> None:
@@ -468,8 +545,10 @@ class Broker:
                     None if self._ema_request_seconds is None
                     else round(self._ema_request_seconds, 6)
                 ),
+                # 0.0 (not None/NaN) before the first completion, so fresh
+                # servers always expose a valid, chartable number.
                 "drain_rate_rps": (
-                    None if not self._ema_request_seconds
+                    0.0 if not self._ema_request_seconds
                     else round(1.0 / self._ema_request_seconds, 3)
                 ),
             },
@@ -485,3 +564,15 @@ class Broker:
                 "sim": cache_stats(),
             },
         }
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition.
+
+        Counters are mirrored from :meth:`stats` through the canonical
+        name table (:mod:`repro.obs.names`), merged with the broker's live
+        latency histogram and the process-global registry (retries,
+        journal records).
+        """
+        return render_metrics(
+            stats_registry(self.stats()), self.metrics, global_registry()
+        )

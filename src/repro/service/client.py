@@ -36,6 +36,7 @@ import time
 from http.client import HTTPConnection
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from repro.obs.trace import TRACE_FIELD, current_context
 from repro.resilience import faults as _faults
 from repro.resilience.faults import InjectedFault
 from repro.resilience.retry import CLIENT_RETRY, RetryPolicy
@@ -96,6 +97,21 @@ def _run_body(
     if deadline is not None:
         body["deadline"] = float(deadline)
     return body
+
+
+def _traced_body(body: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Attach the ambient trace context to a submit body.
+
+    When the caller runs inside a trace (``--profile``, a traced CLI run),
+    the request carries ``trace_id/span_id`` so server-side spans land in
+    the same trace.  The field rides outside the cache key, so a traced
+    submit still coalesces and cache-hits with untraced twins.  An explicit
+    field set by the caller wins.
+    """
+    ref = current_context()
+    if ref is None or TRACE_FIELD in body:
+        return body
+    return {**body, TRACE_FIELD: ref}
 
 
 def _raise_for(status: int, payload: Any) -> None:
@@ -173,7 +189,7 @@ class ServiceClient:
     # -- endpoints ----------------------------------------------------------
 
     def submit(self, body: Mapping[str, Any]) -> Dict[str, Any]:
-        return self._request("POST", "/submit", body)
+        return self._request("POST", "/submit", _traced_body(body))
 
     def submit_run(
         self,
@@ -199,6 +215,26 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The service's ``/metrics`` endpoint as Prometheus text.
+
+        Bypasses the JSON transport — the exposition format is plain text.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(response.status, "metrics unavailable")
+        finally:
+            connection.close()
+        return raw.decode("utf-8")
+
+    def trace_spans(self, trace_id: str) -> Dict[str, Any]:
+        """Recorded spans of one trace (``{"trace_id": ..., "spans": [...]}``)."""
+        return self._request("GET", f"/trace/{trace_id}")
 
     def healthy(self) -> bool:
         try:
@@ -396,7 +432,7 @@ class AsyncServiceClient:
                 pass
 
     async def submit(self, body: Mapping[str, Any]) -> Dict[str, Any]:
-        return await self._request("POST", "/submit", body)
+        return await self._request("POST", "/submit", _traced_body(body))
 
     async def submit_run(
         self,
@@ -426,6 +462,19 @@ class AsyncServiceClient:
 
     async def stats(self) -> Dict[str, Any]:
         return await self._request("GET", "/stats")
+
+    async def metrics(self) -> str:
+        """The service's ``/metrics`` endpoint as Prometheus text."""
+        status, raw = await asyncio.wait_for(
+            self._exchange("GET", "/metrics", None), timeout=self.timeout
+        )
+        if status >= 400:
+            raise ServiceError(status, "metrics unavailable")
+        return raw.decode("utf-8")
+
+    async def trace_spans(self, trace_id: str) -> Dict[str, Any]:
+        """Recorded spans of one trace."""
+        return await self._request("GET", f"/trace/{trace_id}")
 
     async def wait(
         self,

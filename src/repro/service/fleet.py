@@ -50,9 +50,17 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import trace as _trace
+from repro.obs.metrics import global_registry, render_metrics
+from repro.obs.names import REQUEST_COUNTERS, REQUEST_GAUGES, fleet_registry
 from repro.service import protocol
 from repro.service.ring import HashRing
-from repro.service.server import read_request, write_response
+from repro.service.server import (
+    TextPayload,
+    read_request,
+    trace_endpoint,
+    write_response,
+)
 
 #: Worker lifecycle states.
 STARTING = "starting"
@@ -261,6 +269,8 @@ class FleetRouter:
         quiet: bool = True,
         health_interval: float = 0.5,
         max_tracked_requests: int = 65536,
+        metrics_digest: bool = False,
+        digest_interval: float = 10.0,
     ) -> None:
         self.supervisor = supervisor
         self.workers = supervisor.handles
@@ -275,6 +285,9 @@ class FleetRouter:
         self._started = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self._health_task: Optional[asyncio.Task] = None
+        self._metrics_digest = metrics_digest
+        self._digest_interval = max(0.5, float(digest_interval))
+        self._digest_task: Optional[asyncio.Task] = None
         self._shutdown = asyncio.Event()
         self._exit_code = 0
         # Validation runs here once per submit (the worker re-validates on
@@ -296,6 +309,13 @@ class FleetRouter:
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
+        if self.supervisor.store is not None:
+            # Router route-spans land in the same JSONL sink the workers
+            # append to (they share the store), so /trace/<id> on the
+            # router sees the whole fleet even after a worker restart.
+            _trace.set_trace_sink(
+                _trace.store_sink_path(self.supervisor.store)
+            )
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -303,10 +323,36 @@ class FleetRouter:
         if sockets:
             self.port = sockets[0].getsockname()[1]
         self._health_task = asyncio.create_task(self._health_loop())
+        if self._metrics_digest:
+            self._digest_task = asyncio.create_task(self._digest_loop())
         self._log(
             f"fleet: router on http://{self.host}:{self.port} "
             f"({len(self.workers)} worker(s))"
         )
+
+    async def _digest_loop(self) -> None:
+        """One metrics line every ``digest_interval`` seconds (``--metrics``)."""
+        while True:
+            await asyncio.sleep(self._digest_interval)
+            live = sum(
+                1 for handle in self.workers.values() if handle.state == LIVE
+            )
+            submitted = 0
+            for handle in self.workers.values():
+                if isinstance(handle.stats, dict):
+                    submitted += int(
+                        (handle.stats.get("requests") or {}).get("submitted")
+                        or 0
+                    )
+            counters = self.counters
+            print(
+                f"metrics: uptime={time.monotonic() - self._started:.0f}s "
+                f"workers={live}/{len(self.workers)} "
+                f"submitted={submitted} routed={counters['routed']} "
+                f"rerouted={counters['rerouted']} lost={counters['lost']} "
+                f"deaths={counters['worker_deaths']}",
+                flush=True,
+            )
 
     async def serve_until_shutdown(self) -> int:
         await self._shutdown.wait()
@@ -319,6 +365,13 @@ class FleetRouter:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._digest_task is not None:
+            self._digest_task.cancel()
+            try:
+                await self._digest_task
+            except asyncio.CancelledError:
+                pass
+            self._digest_task = None
         if self._health_task is not None:
             self._health_task.cancel()
             try:
@@ -571,6 +624,10 @@ class FleetRouter:
             )
         if method == "GET" and stripped == "/stats":
             return await self._stats()
+        if method == "GET" and stripped == "/metrics":
+            return 200, TextPayload(self.render_metrics())
+        if method == "GET" and stripped.startswith("/trace/"):
+            return await self._trace(stripped[len("/trace/"):])
         if method == "GET" and stripped == "/healthz":
             return self._healthz()
         if method == "GET" and stripped == "/fleet":
@@ -656,6 +713,27 @@ class FleetRouter:
         except protocol.RequestError as exc:
             return 400, {"error": str(exc)}
 
+        route_span_id: Optional[str] = None
+        route_started = time.time()
+        route_t0 = time.perf_counter()
+        if prepared.trace_id is not None:
+            # Interpose a "route" span between the client's root and the
+            # worker's request span: rewrite the forwarded trace ref so
+            # worker-side spans parent under it.  The field rides outside
+            # the cache key, so the rewrite cannot split coalescing.
+            route_span_id = _trace.derive_span_id(
+                prepared.trace_id,
+                prepared.parent_span_id or "",
+                "route",
+                0,
+            )
+            body = {
+                **body,
+                _trace.TRACE_FIELD: _trace.format_trace_ref(
+                    prepared.trace_id, route_span_id
+                ),
+            }
+
         primary: Optional[str] = None
         for name in self.ring.chain(prepared.key):
             if primary is None:
@@ -688,6 +766,17 @@ class FleetRouter:
             if isinstance(payload, dict) and "id" in payload:
                 self._remember_owner(payload["id"], name)
                 payload.setdefault("worker", name)
+            if route_span_id is not None:
+                _trace.finish_span_record(
+                    prepared.trace_id,
+                    route_span_id,
+                    prepared.parent_span_id,
+                    "route",
+                    route_started,
+                    time.perf_counter() - route_t0,
+                    worker=name,
+                    rerouted=(name != primary),
+                )
             return status, payload
         # Every candidate is starting, draining or dead: tell the client to
         # come back after the respawn instead of failing the request.
@@ -786,9 +875,19 @@ class FleetRouter:
             }
             if not isinstance(reply, dict):
                 continue
-            for key, value in (reply.get("requests") or {}).items():
+            # Aggregate over the canonical counter table, not whatever keys
+            # the reply happens to carry: counters sum, gauges max-merge
+            # (summing max_batch_lanes across workers would fabricate a
+            # batch size no worker ever ran).
+            worker_requests = reply.get("requests") or {}
+            for key in REQUEST_COUNTERS:
+                value = worker_requests.get(key)
                 if isinstance(value, int):
                     requests[key] = requests.get(key, 0) + value
+            for key in REQUEST_GAUGES:
+                value = worker_requests.get(key)
+                if isinstance(value, int):
+                    requests[key] = max(requests.get(key, 0), value)
             queue = reply.get("queue") or {}
             depth += int(queue.get("depth") or 0)
             limit += int(queue.get("limit") or 0)
@@ -816,6 +915,67 @@ class FleetRouter:
             },
             "per_worker": per_worker,
         }
+
+    def render_metrics(self) -> str:
+        """Fleet-wide Prometheus text for ``GET /metrics``.
+
+        Rendered from the health loop's cached per-worker ``/stats``
+        snapshots (no extra worker round-trips on scrape) through the same
+        canonical table the single-process server uses: each family appears
+        as an unlabeled fleet sum plus one ``worker="..."``-labeled sample
+        per live worker, so the sum is exactly the sum of the parts.
+        """
+        per_worker = {
+            name: handle.stats
+            for name, handle in self.workers.items()
+            if handle.state == LIVE and isinstance(handle.stats, dict)
+        }
+        registry = fleet_registry(
+            per_worker,
+            self.counters,
+            round(time.monotonic() - self._started, 3),
+        )
+        return render_metrics(registry, global_registry())
+
+    async def _trace(self, trace_id: str) -> Tuple[int, Any]:
+        """Fleet-wide ``GET /trace/<id>``: router spans + worker fan-out.
+
+        With a shared store the router's sink read already covers every
+        worker; the live fan-out additionally recovers ring-only spans of
+        store-less fleets and spans not yet flushed.
+        """
+        status, merged = trace_endpoint(trace_id)
+        if status != 200:
+            return status, merged
+        by_id = {
+            record.get("span_id"): record for record in merged["spans"]
+        }
+
+        async def probe(handle: WorkerHandle):
+            if handle.state != LIVE or not handle.alive():
+                return None
+            try:
+                reply_status, payload = await self._relay(
+                    handle, "GET", f"/trace/{trace_id}", None, timeout=5
+                )
+            except _RELAY_ERRORS:
+                return None
+            return payload if reply_status == 200 else None
+
+        replies = await asyncio.gather(
+            *(probe(handle) for handle in self.workers.values())
+        )
+        for payload in replies:
+            if not isinstance(payload, dict):
+                continue
+            for record in payload.get("spans") or []:
+                if isinstance(record, dict) and record.get("span_id"):
+                    by_id.setdefault(record["span_id"], record)
+        spans = sorted(
+            by_id.values(),
+            key=lambda r: (r.get("started_unix") or 0.0, r.get("span_id") or ""),
+        )
+        return 200, {"trace_id": trace_id, "spans": spans}
 
     # -- draining -----------------------------------------------------------
 
@@ -863,6 +1023,7 @@ def serve_fleet(
     shards: int = 1,
     queue_limit: int = 32,
     quiet: bool = False,
+    metrics_digest: bool = False,
 ) -> int:
     """Run a router + N-worker fleet until shutdown; returns the exit code.
 
@@ -873,7 +1034,10 @@ def serve_fleet(
         workers=workers, host=host, store=store, shards=shards,
         queue_limit=queue_limit, quiet=quiet,
     )
-    router = FleetRouter(supervisor, host=host, port=port, quiet=quiet)
+    router = FleetRouter(
+        supervisor, host=host, port=port, quiet=quiet,
+        metrics_digest=metrics_digest,
+    )
     try:
         return asyncio.run(_serve_fleet_async(router))
     except KeyboardInterrupt:

@@ -28,6 +28,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.experiments.presets import RunOptions, is_run_target, scenario_job
+from repro.obs.trace import (
+    TRACE_FIELD,
+    format_trace_ref,
+    parse_trace_ref,
+    valid_trace_ref,
+)
 from repro.pipeline.stages import job_store_key
 from repro.pipeline.store import content_key
 from repro.sim import cache as _sim_cache
@@ -109,6 +115,13 @@ class PreparedRequest:
             canonical spec: two requests for the same computation are the
             same request however long each is willing to wait, and the cache
             only ever holds results that finished without deadline pressure.
+        trace_id: Observability correlation id propagated via the
+            ``x-repro-trace`` body field.  Like ``deadline``, excluded from
+            the cache key and canonical spec — traced and untraced requests
+            for the same computation are the same request, and trace ids
+            never reach stored payloads.
+        parent_span_id: The caller-side span the request's server spans
+            parent under (second half of the ``x-repro-trace`` field).
     """
 
     kind: str
@@ -126,6 +139,15 @@ class PreparedRequest:
     seed: Optional[int] = None
     mode: str = "tgmg"
     deadline: Optional[float] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+
+    @property
+    def trace_ref(self) -> Optional[str]:
+        """The ``trace_id/parent_span_id`` form for re-propagation."""
+        if self.trace_id is None:
+            return None
+        return format_trace_ref(self.trace_id, self.parent_span_id)
 
 
 def _int_vector(raw: Any, what: str) -> Dict[int, int]:
@@ -272,6 +294,24 @@ def _prepare_simulate(body: Mapping[str, Any]) -> PreparedRequest:
     )
 
 
+def _parse_trace(body: Mapping[str, Any]) -> Tuple[Optional[str], Optional[str]]:
+    """Extract ``x-repro-trace`` as ``(trace_id, parent_span_id)``.
+
+    Absent → ``(None, None)``; present but malformed → :class:`RequestError`
+    (a client that tries to trace deserves to hear it failed rather than
+    silently losing the correlation).
+    """
+    raw = body.get(TRACE_FIELD)
+    if raw is None:
+        return None, None
+    if not valid_trace_ref(raw):
+        raise RequestError(
+            f"'{TRACE_FIELD}' must be 'trace_id' or 'trace_id/span_id' "
+            "(alphanumeric plus '._-', at most 64 chars each)"
+        )
+    return parse_trace_ref(raw)
+
+
 def _parse_deadline(body: Mapping[str, Any]) -> Optional[float]:
     raw = body.get("deadline")
     if raw is None:
@@ -295,11 +335,13 @@ def prepare_request(body: Any) -> PreparedRequest:
     An optional ``deadline`` (seconds) rides along on the prepared request —
     it scopes execution (see :mod:`repro.resilience.deadline`) but never
     enters the cache key, so deadline-bearing requests still coalesce with
-    unbounded ones.
+    unbounded ones.  The same holds for the optional ``x-repro-trace``
+    field: it rides along for observability and never affects the key.
     """
     if not isinstance(body, Mapping):
         raise RequestError("request body must be a JSON object")
     deadline = _parse_deadline(body)
+    trace_id, parent_span_id = _parse_trace(body)
     kind = body.get("kind", "run")
     if kind == "run":
         prepared = _prepare_run(body)
@@ -308,6 +350,8 @@ def prepare_request(body: Any) -> PreparedRequest:
     else:
         raise RequestError(f"unknown request kind {kind!r}")
     prepared.deadline = deadline
+    prepared.trace_id = trace_id
+    prepared.parent_span_id = parent_span_id
     return prepared
 
 

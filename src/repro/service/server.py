@@ -14,6 +14,11 @@ no chunking).  Endpoints:
 ``GET /result/<id>``      The result document (200), 202 while pending,
                           404 unknown, 500 failed.
 ``GET /stats``            Broker/cache/queue counters.
+``GET /metrics``          Prometheus text exposition of the same counters
+                          (plus latency histograms and process-global
+                          tallies) via :mod:`repro.obs.names`.
+``GET /trace/<id>``       Recorded spans of one trace id (from the bounded
+                          in-memory ring and the JSONL sink, if any).
 ``GET /healthz``          Liveness probe.
 ``POST /shutdown``        Graceful drain + exit (what SIGTERM does).
 ========================  ====================================================
@@ -32,6 +37,7 @@ import signal
 import threading
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs import trace as _trace
 from repro.service.broker import Broker
 from repro.service.protocol import (
     QueueFullError,
@@ -51,6 +57,10 @@ _REASONS = {
 
 #: Refuse to buffer absurd request bodies (admission control for bytes).
 MAX_BODY_BYTES = 1 << 20
+
+
+class TextPayload(str):
+    """Marker: a pre-rendered plain-text response body (``/metrics``)."""
 
 
 async def read_request(
@@ -101,18 +111,53 @@ async def read_request(
 async def write_response(
     writer: asyncio.StreamWriter, status: int, payload: Any
 ) -> None:
-    """Write one JSON response and flush (connection-close framing)."""
-    body = json.dumps(payload).encode("utf-8")
+    """Write one response and flush (connection-close framing).
+
+    JSON by default; a :class:`TextPayload` body goes out verbatim as
+    ``text/plain`` (the Prometheus exposition content type).
+    """
+    if isinstance(payload, TextPayload):
+        body = str(payload).encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "OK")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
         "\r\n"
     )
     writer.write(head.encode("latin-1") + body)
     await writer.drain()
+
+
+def trace_endpoint(trace_id: str) -> Tuple[int, Any]:
+    """The ``GET /trace/<id>`` body: every known span of one trace.
+
+    Merges the process-local ring with the JSONL sink (ring entries win on
+    id collisions — they are the freshest copy), so a span survives either
+    ring eviction or a missing sink.  Shared by server and fleet router.
+    """
+    if not _trace.valid_trace_ref(trace_id) or "/" in trace_id:
+        return 400, {"error": f"invalid trace id {trace_id!r}"}
+    spans = {
+        record["span_id"]: record
+        for record in _trace.ring_spans(trace_id)
+    }
+    sink = _trace.trace_sink_path()
+    if sink is not None:
+        for record in _trace.read_sink(sink, trace_id):
+            spans.setdefault(record.get("span_id", ""), record)
+    ordered = sorted(
+        spans.values(),
+        key=lambda record: (
+            record.get("started_unix", 0.0), str(record.get("span_id"))
+        ),
+    )
+    return 200, {"trace_id": trace_id, "spans": ordered}
 
 
 class ServiceServer:
@@ -127,20 +172,32 @@ class ServiceServer:
         queue_limit: int = 32,
         l1_size: int = 256,
         quiet: bool = True,
+        metrics_digest: bool = False,
+        digest_interval: float = 10.0,
     ) -> None:
         self.host = host
         self.port = port
         self.quiet = quiet
+        self.metrics_digest = metrics_digest
+        self.digest_interval = max(0.5, float(digest_interval))
         self.broker = Broker(
             store=store, shards=shards, queue_limit=queue_limit, l1_size=l1_size
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
         self._exit_code = 0
+        self._digest_task: Optional[asyncio.Task] = None
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
+        if self.broker.store is not None:
+            # Traced spans persist next to the artifact store, where fleet
+            # workers sharing the store directory append to the same file
+            # and `repro trace show --store` can read them later.
+            _trace.set_trace_sink(
+                _trace.store_sink_path(self.broker.store.root)
+            )
         await self.broker.start()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
@@ -148,7 +205,34 @@ class ServiceServer:
         sockets = self._server.sockets or ()
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if self.metrics_digest:
+            self._digest_task = asyncio.get_running_loop().create_task(
+                self._digest_loop()
+            )
         self._log(f"service: listening on http://{self.host}:{self.port}")
+
+    async def _digest_loop(self) -> None:
+        """Periodic one-line metrics digest (``serve --metrics``)."""
+        while True:
+            await asyncio.sleep(self.digest_interval)
+            stats = self.broker.stats()
+            requests = stats.get("requests", {})
+            queue = stats.get("queue", {})
+            l1 = (stats.get("cache") or {}).get("l1") or {}
+            print(
+                "metrics: uptime={:.0f}s submitted={} completed={} failed={} "
+                "queue={}/{} drain_rps={} l1_hit_ratio={}".format(
+                    stats.get("uptime_seconds", 0.0),
+                    requests.get("submitted", 0),
+                    requests.get("completed", 0),
+                    requests.get("failed", 0),
+                    queue.get("depth", 0),
+                    queue.get("limit", 0),
+                    queue.get("drain_rate_rps", 0.0),
+                    l1.get("hit_ratio", 0.0),
+                ),
+                flush=True,
+            )
 
     async def serve_until_shutdown(self) -> int:
         """Block until a shutdown is requested; returns the exit code."""
@@ -157,6 +241,9 @@ class ServiceServer:
         return self._exit_code
 
     async def stop(self, drain: bool = True) -> None:
+        if self._digest_task is not None:
+            self._digest_task.cancel()
+            self._digest_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -257,6 +344,10 @@ class ServiceServer:
             return self._result(path[len("/result/"):])
         if method == "GET" and path == "/stats":
             return 200, self.broker.stats()
+        if method == "GET" and path == "/metrics":
+            return 200, TextPayload(self.broker.render_metrics())
+        if method == "GET" and path.startswith("/trace/"):
+            return trace_endpoint(path[len("/trace/"):])
         if method == "GET" and path == "/healthz":
             return 200, {"ok": True, "accepting": self.broker.accepting}
         if method == "POST" and path == "/shutdown":
@@ -329,11 +420,12 @@ def serve(
     shards: int = 1,
     queue_limit: int = 32,
     quiet: bool = False,
+    metrics_digest: bool = False,
 ) -> int:
     """Run the service until shutdown; returns the process exit code."""
     server = ServiceServer(
         host=host, port=port, store=store, shards=shards,
-        queue_limit=queue_limit, quiet=quiet,
+        queue_limit=queue_limit, quiet=quiet, metrics_digest=metrics_digest,
     )
     try:
         return asyncio.run(_serve_async(server))

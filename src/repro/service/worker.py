@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.presets import RunOptions, run_preset
+from repro.obs import trace as _trace
 from repro.pipeline.events import PipelineEvent
 from repro.pipeline.store import ArtifactStore, attach_persistent_throughputs
 from repro.resilience.deadline import optional_scope
@@ -107,8 +108,13 @@ def _execute_run(
     # The request deadline opens here, on the compute thread running the
     # job, and reaches the MILP walk / search racer through the ambient
     # Deadline.current() — no signature below needs a deadline parameter.
-    with optional_scope(prepared.deadline):
-        result = run_preset(prepared.target, options, events=events)
+    # The trace scope opens alongside it: contextvars do not cross the
+    # event-loop → executor boundary, so the propagated trace ref (already
+    # re-parented to the broker's request span) restarts the ambient trace
+    # here, and pipeline/stage/search spans nest under this execute span.
+    with _trace.maybe_trace(prepared.trace_ref, f"execute:{prepared.target}"):
+        with optional_scope(prepared.deadline):
+            result = run_preset(prepared.target, options, events=events)
     if store is not None and "degraded" not in result:
         # Degraded results are answers to *this* deadline-pressed request,
         # not to the declaration — never persist them as the request's
@@ -149,15 +155,39 @@ def _execute_simulate(
         )
     finally:
         _sim_cache.set_persistent_backend(previous)
+    seconds = time.perf_counter() - started
     if emit is not None:
         # Pair every start with a completion, or stream consumers tracking
         # open jobs would see simulate requests as permanently in flight.
-        seconds = time.perf_counter() - started
         for request_id in group.request_ids:
             emit(request_id, {
                 "kind": "job-done", "job_id": job_id, "total": group.lanes,
                 "seconds": seconds,
             })
+    traced = [p for p in group.requests if p.trace_id is not None]
+    if traced:
+        # Batch membership: every traced lane gets a span under its own
+        # request recording the shared batch execution it rode in.
+        from repro.sim.kernels import kernel_backend
+
+        backend = kernel_backend()
+        batch_started = time.time() - seconds
+        for prepared in traced:
+            _trace.finish_span_record(
+                prepared.trace_id,
+                _trace.derive_span_id(
+                    prepared.trace_id,
+                    prepared.parent_span_id or "",
+                    "simulate-batch",
+                    0,
+                ),
+                prepared.parent_span_id,
+                "simulate-batch",
+                batch_started,
+                seconds,
+                lanes=group.lanes,
+                kernel_backend=backend,
+            )
     # The document must be a function of the request alone (no batch-shape
     # fields like the lane count): a store hit after a restart must return
     # exactly what the original execution returned.

@@ -14,7 +14,7 @@ Two layers of reuse keep Pareto sweeps cheap:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.core.rrg import RRG
 from repro.sim.engine import (
@@ -89,13 +89,19 @@ class LruCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters (the exported accounting interface)."""
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/size counters (the exported accounting interface).
+
+        ``hit_ratio`` is 0.0 (not NaN, not an exception) before the first
+        lookup, so freshly started servers always report a valid number.
+        """
+        lookups = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "size": len(self._data),
             "maxsize": self.maxsize,
+            "hit_ratio": round(self.hits / lookups, 6) if lookups else 0.0,
         }
 
 

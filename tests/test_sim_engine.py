@@ -230,7 +230,8 @@ class TestLruCacheExport:
         cache.put("c", 3)  # evicts "a"
         assert cache.get("a") is None
         stats = cache.stats()
-        assert stats == {"hits": 1, "misses": 2, "size": 2, "maxsize": 2}
+        assert stats == {"hits": 1, "misses": 2, "size": 2,
+                         "maxsize": 2, "hit_ratio": round(1 / 3, 6)}
 
     def test_simulate_vectors_matches_configurations(self):
         from repro.core.configuration import RRConfiguration
